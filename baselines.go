@@ -1,0 +1,72 @@
+package rpm
+
+import (
+	"rpm/internal/bop"
+	"rpm/internal/fastshapelets"
+	"rpm/internal/learnshapelets"
+	"rpm/internal/nn"
+	"rpm/internal/saxvsm"
+	"rpm/internal/shapelettransform"
+)
+
+// Model is the interface every classifier in this package satisfies —
+// RPM itself and all five baselines of the paper's evaluation — so
+// downstream code can benchmark them uniformly.
+type Model interface {
+	// Predict classifies one series.
+	Predict(values []float64) int
+}
+
+// PredictAll runs any model over a dataset and returns predicted labels in
+// order.
+func PredictAll(m Model, test Dataset) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = m.Predict(in.Values)
+	}
+	return out
+}
+
+// NewNNEuclidean builds the 1-nearest-neighbor Euclidean baseline (NN-ED).
+func NewNNEuclidean(train Dataset) Model { return nn.NewED(toInternal(train)) }
+
+// NewNNDTWBest builds the 1-nearest-neighbor DTW baseline with the best
+// warping window learned from the training data by leave-one-out
+// cross-validation (NN-DTWB).
+func NewNNDTWBest(train Dataset) Model { return nn.NewDTWBest(toInternal(train)) }
+
+// NewNNDTW builds a 1NN-DTW classifier with a fixed Sakoe-Chiba half-width.
+func NewNNDTW(train Dataset, window int) Model { return nn.NewDTW(toInternal(train), window) }
+
+// TrainSAXVSM trains the SAX-VSM baseline with cross-validated parameter
+// selection.
+func TrainSAXVSM(train Dataset, seed int64) Model {
+	return saxvsm.TrainAuto(toInternal(train), seed)
+}
+
+// TrainFastShapelets trains the Fast Shapelets decision-tree baseline.
+func TrainFastShapelets(train Dataset, seed int64) Model {
+	return fastshapelets.Train(toInternal(train), fastshapelets.Config{Seed: seed})
+}
+
+// TrainLearningShapelets trains the Learning Shapelets baseline (gradient
+// descent over shapelets and classifier weights jointly).
+func TrainLearningShapelets(train Dataset, seed int64) Model {
+	return learnshapelets.Train(toInternal(train), learnshapelets.Config{Seed: seed})
+}
+
+// TrainBagOfPatterns trains the Bag-of-Patterns classifier (Lin et al.
+// 2012): SAX-word histograms compared by 1-nearest-neighbor, with
+// cross-validated SAX parameter selection.
+func TrainBagOfPatterns(train Dataset, seed int64) Model {
+	t := toInternal(train)
+	return bop.Train(t, saxvsm.SelectParams(t, seed))
+}
+
+// TrainShapeletTransform trains the Shapelet Transform classifier (Lines
+// et al. 2012), RPM's closest methodological relative from the paper's
+// related work: top-K shapelets by information gain, distance transform,
+// linear SVM.
+func TrainShapeletTransform(train Dataset, seed int64) Model {
+	return shapelettransform.Train(toInternal(train), shapelettransform.Config{Seed: seed})
+}

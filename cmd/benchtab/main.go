@@ -1,0 +1,166 @@
+// Command benchtab regenerates the paper's evaluation artifacts — every
+// table and figure of §5–§6 — on the synthetic dataset suite and prints
+// them to stdout (see EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	benchtab -exp table1            # Table 1: error of all six methods
+//	benchtab -exp table2            # Table 2: runtime of LS/FS/RPM
+//	benchtab -exp table3            # Table 3: τ sensitivity aggregate
+//	benchtab -exp table4            # Table 4: rotated-test error
+//	benchtab -exp fig7|fig8|fig9    # figure data
+//	benchtab -exp alarm             # §6.2 medical-alarm case study
+//	benchtab -exp all               # everything
+//	benchtab -exp table1 -datasets SynCBF,SynCoffee -quick -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rpm/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1,table2,table3,table4,fig7,fig8,fig9,alarm,ablate,all")
+	seed := flag.Int64("seed", 1, "random seed for data generation and training")
+	quick := flag.Bool("quick", false, "use reduced parameter-search budgets")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: full suite)")
+	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
+	verbose := flag.Bool("v", true, "print per-dataset progress to stderr")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	if err := run(*exp, cfg, *svgDir, progress); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config, svgDir string, progress func(string)) error {
+	emitSVG := func(write func() ([]string, error)) error {
+		if svgDir == "" {
+			return nil
+		}
+		paths, err := write()
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			progress("wrote " + p)
+		}
+		return nil
+	}
+	needSuite := map[string]bool{"table1": true, "table2": true, "fig7": true, "fig8": true, "all": true, "main": true}
+	var suite []experiments.DatasetResult
+	var err error
+	if needSuite[exp] {
+		suite, err = experiments.RunSuite(cfg, progress)
+		if err != nil {
+			return err
+		}
+	}
+	switch exp {
+	case "main":
+		// the four suite-driven artifacts from a single run
+		fmt.Println(experiments.FormatTable1(suite, experiments.AllMethods()))
+		fmt.Println(experiments.FormatTable2(suite))
+		fmt.Println(experiments.FormatFig7(suite, experiments.AllMethods()))
+		fmt.Println(experiments.FormatFig8(suite))
+		if err := emitSVG(func() ([]string, error) {
+			p1, err := experiments.WriteFig7SVG(svgDir, suite, experiments.AllMethods())
+			if err != nil {
+				return p1, err
+			}
+			p2, err := experiments.WriteFig8SVG(svgDir, suite)
+			return append(p1, p2...), err
+		}); err != nil {
+			return err
+		}
+	case "table1":
+		fmt.Println(experiments.FormatTable1(suite, experiments.AllMethods()))
+	case "table2":
+		fmt.Println(experiments.FormatTable2(suite))
+	case "fig7":
+		fmt.Println(experiments.FormatFig7(suite, experiments.AllMethods()))
+		if err := emitSVG(func() ([]string, error) {
+			return experiments.WriteFig7SVG(svgDir, suite, experiments.AllMethods())
+		}); err != nil {
+			return err
+		}
+	case "fig8":
+		fmt.Println(experiments.FormatFig8(suite))
+		if err := emitSVG(func() ([]string, error) {
+			return experiments.WriteFig8SVG(svgDir, suite)
+		}); err != nil {
+			return err
+		}
+	case "table3", "fig9":
+		sweep, err := experiments.RunTauSweep(cfg, progress)
+		if err != nil {
+			return err
+		}
+		if exp == "table3" {
+			fmt.Println(experiments.FormatTable3(sweep))
+		} else {
+			fmt.Println(experiments.FormatFig9(sweep))
+			if err := emitSVG(func() ([]string, error) {
+				return experiments.WriteFig9SVG(svgDir, sweep)
+			}); err != nil {
+				return err
+			}
+		}
+	case "table4":
+		rot, err := experiments.RunTable4(cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable4(rot))
+	case "alarm":
+		res, err := experiments.RunAlarmCase(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAlarmCase(res, experiments.AllMethods()))
+	case "ablate":
+		abl, err := experiments.RunAblation(cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation(abl))
+	case "all":
+		fmt.Println(experiments.FormatTable1(suite, experiments.AllMethods()))
+		fmt.Println(experiments.FormatTable2(suite))
+		fmt.Println(experiments.FormatFig7(suite, experiments.AllMethods()))
+		fmt.Println(experiments.FormatFig8(suite))
+		sweep, err := experiments.RunTauSweep(cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable3(sweep))
+		fmt.Println(experiments.FormatFig9(sweep))
+		rot, err := experiments.RunTable4(cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable4(rot))
+		alarm, err := experiments.RunAlarmCase(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAlarmCase(alarm, experiments.AllMethods()))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Command rpmcli trains an RPM classifier on a UCR-format training file
+// and classifies a UCR-format test file, printing the error rate, the
+// discovered representative patterns, and the per-class SAX parameters.
+//
+// Usage:
+//
+//	rpmcli -train Coffee_TRAIN -test Coffee_TEST
+//	rpmcli -train X_TRAIN -test X_TEST -mode fixed -window 40 -paa 6 -alpha 4
+//	rpmcli -train X_TRAIN -test X_TEST -rotinv -gamma 0.3 -patterns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpm"
+)
+
+func main() {
+	trainPath := flag.String("train", "", "UCR-format training file (required)")
+	testPath := flag.String("test", "", "UCR-format test file (required)")
+	mode := flag.String("mode", "direct", "parameter selection: direct, grid, fixed")
+	window := flag.Int("window", 0, "SAX window (fixed mode)")
+	paa := flag.Int("paa", 0, "SAX PAA size (fixed mode)")
+	alpha := flag.Int("alpha", 0, "SAX alphabet size (fixed mode)")
+	gamma := flag.Float64("gamma", 0.2, "minimum pattern support fraction")
+	tau := flag.Float64("tau", 30, "similar-pattern threshold percentile")
+	rotInv := flag.Bool("rotinv", false, "rotation-invariant classification")
+	medoid := flag.Bool("medoid", false, "use cluster medoids instead of centroids")
+	seed := flag.Int64("seed", 1, "random seed")
+	splits := flag.Int("splits", 5, "train/validate splits per parameter evaluation")
+	maxEvals := flag.Int("maxevals", 60, "parameter-search evaluations per class")
+	showPatterns := flag.Bool("patterns", false, "print the representative patterns")
+	znorm := flag.Bool("znorm", false, "z-normalize instances before training")
+	saveModel := flag.String("save", "", "write the trained model to this file")
+	loadModel := flag.String("load", "", "load a trained model instead of training")
+	motifsOnly := flag.Bool("motifs", false, "discover class-specific motifs only (no classifier); requires fixed -window/-paa/-alpha")
+	flag.Parse()
+
+	if (*trainPath == "" && *loadModel == "") || *testPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var train rpm.Dataset
+	var err error
+	if *trainPath != "" {
+		if train, err = loadFile(*trainPath); err != nil {
+			fatal(err)
+		}
+	}
+	test, err := loadFile(*testPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *znorm {
+		rpm.ZNormalize(train)
+		rpm.ZNormalize(test)
+	}
+
+	opts := rpm.DefaultOptions()
+	opts.Gamma = *gamma
+	opts.TauPercentile = *tau
+	opts.RotationInvariant = *rotInv
+	opts.UseMedoid = *medoid
+	opts.Seed = *seed
+	opts.Splits = *splits
+	opts.MaxEvals = *maxEvals
+	switch *mode {
+	case "direct":
+		opts.Mode = rpm.ParamDIRECT
+	case "grid":
+		opts.Mode = rpm.ParamGrid
+	case "fixed":
+		opts.Mode = rpm.ParamFixed
+		opts.Params = rpm.SAXParams{Window: *window, PAA: *paa, Alphabet: *alpha}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *motifsOnly {
+		if *window == 0 || *paa == 0 || *alpha == 0 {
+			fatal(fmt.Errorf("-motifs requires -window, -paa and -alpha"))
+		}
+		motifs := rpm.DiscoverMotifs(train, rpm.SAXParams{Window: *window, PAA: *paa, Alphabet: *alpha}, opts)
+		for class, ms := range motifs {
+			fmt.Printf("class %d: %d motifs\n", class, len(ms))
+			for i, m := range ms {
+				fmt.Printf("  motif %d: support=%d occurrences=%d prototype-length=%d\n",
+					i, m.Support, len(m.Occurrences), len(m.Prototype))
+			}
+		}
+		return
+	}
+	var clf *rpm.Classifier
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fatal(err)
+		}
+		clf, err = rpm.LoadClassifier(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		clf, err = rpm.Train(train, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatal(err)
+		}
+		if err := clf.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+	preds := clf.PredictBatch(test)
+	wrong := 0
+	for i, p := range preds {
+		if p != test[i].Label {
+			wrong++
+		}
+	}
+	fmt.Printf("instances: train=%d test=%d\n", len(train), len(test))
+	fmt.Printf("patterns:  %d\n", len(clf.Patterns()))
+	fmt.Printf("error:     %.4f (%d/%d wrong)\n", float64(wrong)/float64(len(test)), wrong, len(test))
+	fmt.Println("per-class SAX parameters:")
+	for class, p := range clf.PerClassParams() {
+		fmt.Printf("  class %d: window=%d paa=%d alphabet=%d\n", class, p.Window, p.PAA, p.Alphabet)
+	}
+	if *showPatterns {
+		for i, p := range clf.Patterns() {
+			fmt.Printf("pattern %d: class=%d len=%d support=%d freq=%d\n", i, p.Class, len(p.Values), p.Support, p.Freq)
+			fmt.Printf("  values: %v\n", p.Values)
+		}
+	}
+}
+
+func loadFile(path string) (rpm.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rpm.LoadUCR(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpmcli:", err)
+	os.Exit(1)
+}

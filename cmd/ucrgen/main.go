@@ -1,0 +1,61 @@
+// Command ucrgen writes the synthetic evaluation suite (or a single
+// dataset from it) to disk in the UCR archive layout:
+// <dir>/<Name>_TRAIN and <dir>/<Name>_TEST.
+//
+// Usage:
+//
+//	ucrgen -dir ./data                  # generate the whole suite
+//	ucrgen -dir ./data -name SynCBF     # one dataset
+//	ucrgen -dir ./data -name SynABPAlarm -seed 9
+//	ucrgen -list                        # list available datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpm/internal/datagen"
+	"rpm/internal/dataset"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	name := flag.String("name", "", "single dataset to generate (default: whole suite)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	list := flag.Bool("list", false, "list available datasets and exit")
+	flag.Parse()
+
+	gens := append(datagen.Suite(), datagen.ABP())
+	if *list {
+		for _, g := range gens {
+			fmt.Printf("%-18s classes=%-2d train=%-4d test=%-4d length=%d\n",
+				g.Name, g.Classes, g.TrainSize, g.TestSize, g.Length)
+		}
+		return
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, g := range gens {
+		if *name != "" && g.Name != *name {
+			continue
+		}
+		split := g.Generate(*seed)
+		if err := dataset.WriteSplit(*dir, split); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s/%s_TRAIN (+_TEST): %d train, %d test, length %d\n",
+			*dir, g.Name, len(split.Train), len(split.Test), g.Length)
+	}
+	if *name != "" {
+		if _, ok := datagen.ByName(*name); !ok && *name != "SynABPAlarm" {
+			fatal(fmt.Errorf("unknown dataset %q (use -list)", *name))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ucrgen:", err)
+	os.Exit(1)
+}

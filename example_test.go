@@ -1,0 +1,94 @@
+package rpm_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"rpm"
+)
+
+// ExampleTrain shows the minimal train/predict loop on a built-in
+// synthetic dataset with fixed SAX parameters.
+func ExampleTrain() {
+	split := rpm.GenerateDataset("SynCBF", 1)
+	opts := rpm.DefaultOptions()
+	opts.Mode = rpm.ParamFixed
+	opts.Params = rpm.SAXParams{Window: 40, PAA: 6, Alphabet: 4}
+	clf, err := rpm.Train(split.Train, opts)
+	if err != nil {
+		panic(err)
+	}
+	preds := clf.PredictBatch(split.Test)
+	wrong := 0
+	for i, p := range preds {
+		if p != split.Test[i].Label {
+			wrong++
+		}
+	}
+	fmt.Println("patterns found:", len(clf.Patterns()) > 0)
+	fmt.Println("error below 10%:", float64(wrong)/float64(len(preds)) < 0.10)
+	// Output:
+	// patterns found: true
+	// error below 10%: true
+}
+
+// ExampleDiscoverMotifs runs the exploratory motif-discovery stage only.
+func ExampleDiscoverMotifs() {
+	split := rpm.GenerateDataset("SynCBF", 1)
+	motifs := rpm.DiscoverMotifs(split.Train,
+		rpm.SAXParams{Window: 40, PAA: 6, Alphabet: 4}, rpm.DefaultOptions())
+	fmt.Println("classes with motifs:", len(motifs))
+	allSupported := true
+	for _, ms := range motifs {
+		for _, m := range ms {
+			if m.Support < 2 {
+				allSupported = false
+			}
+		}
+	}
+	fmt.Println("every motif supported by >=2 instances:", allSupported)
+	// Output:
+	// classes with motifs: 3
+	// every motif supported by >=2 instances: true
+}
+
+// ExampleClassifier_Save round-trips a trained model through its JSON
+// serialization.
+func ExampleClassifier_Save() {
+	split := rpm.GenerateDataset("SynGunPoint", 1)
+	opts := rpm.DefaultOptions()
+	opts.Mode = rpm.ParamFixed
+	opts.Params = rpm.SAXParams{Window: 30, PAA: 6, Alphabet: 4}
+	clf, err := rpm.Train(split.Train, opts)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		panic(err)
+	}
+	loaded, err := rpm.LoadClassifier(&buf)
+	if err != nil {
+		panic(err)
+	}
+	same := true
+	for _, in := range split.Test[:10] {
+		if loaded.Predict(in.Values) != clf.Predict(in.Values) {
+			same = false
+		}
+	}
+	fmt.Println("loaded model predicts identically:", same)
+	// Output:
+	// loaded model predicts identically: true
+}
+
+// ExamplePredictAll compares RPM with a nearest-neighbor baseline through
+// the shared Model interface.
+func ExamplePredictAll() {
+	split := rpm.GenerateDataset("SynItalyPower", 1)
+	nn := rpm.NewNNEuclidean(split.Train)
+	preds := rpm.PredictAll(nn, split.Test)
+	fmt.Println("predictions:", len(preds) == len(split.Test))
+	// Output:
+	// predictions: true
+}

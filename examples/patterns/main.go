@@ -1,0 +1,115 @@
+// Pattern discovery: reproduce the paper's Figures 2, 3 and 5 — the best
+// class-specific representative patterns RPM finds on CBF, Coffee and
+// ECGFiveDays — rendered as ASCII sparklines. This is the exploratory
+// side of RPM the paper emphasizes: the patterns are interpretable class
+// prototypes, not just classifier internals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"rpm"
+)
+
+func main() {
+	cases := []struct {
+		dataset string
+		params  rpm.SAXParams
+		figure  string
+	}{
+		{"SynCBF", rpm.SAXParams{Window: 40, PAA: 6, Alphabet: 4}, "Figure 2 (CBF)"},
+		{"SynCoffee", rpm.SAXParams{Window: 60, PAA: 8, Alphabet: 4}, "Figure 3 (Coffee)"},
+		{"SynECGFiveDays", rpm.SAXParams{Window: 40, PAA: 6, Alphabet: 4}, "Figure 5 (ECGFiveDays)"},
+	}
+	for _, c := range cases {
+		split := rpm.GenerateDataset(c.dataset, 1)
+		opts := rpm.DefaultOptions()
+		opts.Mode = rpm.ParamFixed
+		opts.Params = c.params
+		clf, err := rpm.Train(split.Train, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s — dataset %s ===\n", c.figure, c.dataset)
+		byClass := map[int][]rpm.Pattern{}
+		for _, p := range clf.Patterns() {
+			byClass[p.Class] = append(byClass[p.Class], p)
+		}
+		var classes []int
+		for cl := range byClass {
+			classes = append(classes, cl)
+		}
+		sort.Ints(classes)
+		for _, cl := range classes {
+			pats := byClass[cl]
+			// the "best" pattern of the class: highest support, then freq
+			sort.Slice(pats, func(i, j int) bool {
+				if pats[i].Support != pats[j].Support {
+					return pats[i].Support > pats[j].Support
+				}
+				return pats[i].Freq > pats[j].Freq
+			})
+			best := pats[0]
+			fmt.Printf("\nclass %d: %d pattern(s); best has length %d, support %d/%d instances\n",
+				cl, len(pats), len(best.Values), best.Support, countClass(split.Train, cl))
+			fmt.Println(sparkline(best.Values, 64, 8))
+		}
+		fmt.Println()
+	}
+}
+
+func countClass(d rpm.Dataset, class int) int {
+	n := 0
+	for _, in := range d {
+		if in.Label == class {
+			n++
+		}
+	}
+	return n
+}
+
+// sparkline renders a series as an ASCII plot of the given width/height.
+func sparkline(v []float64, width, height int) string {
+	if len(v) == 0 {
+		return "(empty)"
+	}
+	if len(v) > width {
+		step := float64(len(v)) / float64(width)
+		res := make([]float64, width)
+		for i := range res {
+			res[i] = v[int(float64(i)*step)]
+		}
+		v = res
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	rows := make([][]byte, height)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", len(v)))
+	}
+	for i, x := range v {
+		r := int((hi - x) / (hi - lo) * float64(height-1))
+		rows[r][i] = '*'
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", len(v)))
+	return b.String()
+}

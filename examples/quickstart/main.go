@@ -1,0 +1,54 @@
+// Quickstart: train an RPM classifier on a synthetic Cylinder-Bell-Funnel
+// dataset and classify its test set — the minimal end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpm"
+)
+
+func main() {
+	// 1. Get a dataset. GenerateDataset synthesizes a UCR-style split
+	// deterministically; real UCR files load via rpm.LoadUCR.
+	split := rpm.GenerateDataset("SynCBF", 1)
+	fmt.Printf("dataset %s: %d train, %d test, length %d\n",
+		split.Name, len(split.Train), len(split.Test), len(split.Train[0].Values))
+
+	// 2. Train. DefaultOptions runs the full pipeline with per-class
+	// DIRECT parameter optimization; here we pin the SAX parameters to
+	// keep the example instant.
+	opts := rpm.DefaultOptions()
+	opts.Mode = rpm.ParamFixed
+	opts.Params = rpm.SAXParams{Window: 40, PAA: 6, Alphabet: 4}
+	clf, err := rpm.Train(split.Train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect what was learned: each class gets its own representative
+	// patterns (paper Fig. 2 shows these for CBF).
+	fmt.Printf("\nlearned %d representative patterns:\n", len(clf.Patterns()))
+	for i, p := range clf.Patterns() {
+		fmt.Printf("  pattern %d: class=%d length=%d support=%d instances\n",
+			i, p.Class, len(p.Values), p.Support)
+	}
+
+	// 4. Classify.
+	preds := clf.PredictBatch(split.Test)
+	wrong := 0
+	for i, pred := range preds {
+		if pred != split.Test[i].Label {
+			wrong++
+		}
+	}
+	fmt.Printf("\ntest error: %.4f (%d/%d wrong)\n",
+		float64(wrong)/float64(len(split.Test)), wrong, len(split.Test))
+
+	// 5. A single prediction with its distance-space view.
+	q := split.Test[0]
+	fmt.Printf("\nfirst test series: true class %d, predicted %d\n", q.Label, clf.Predict(q.Values))
+	fmt.Printf("distances to the representative patterns: %.3f\n", clf.Transform(q.Values))
+}

@@ -1,0 +1,3 @@
+module rpm
+
+go 1.22

@@ -1,0 +1,108 @@
+// Package bop implements the Bag-of-Patterns classifier (Lin, Khade & Li,
+// 2012), the SAX-histogram representation that SAX-VSM (and, indirectly,
+// RPM's symbolic stage) builds on — part of the local-pattern family the
+// paper's related work (§2.2) surveys. Each series becomes a histogram of
+// its SAX words (with numerosity reduction); classification is 1-nearest-
+// neighbor under Euclidean distance between histograms.
+package bop
+
+import (
+	"math"
+
+	"rpm/internal/sax"
+	"rpm/internal/ts"
+)
+
+// Model is a trained Bag-of-Patterns classifier.
+type Model struct {
+	params sax.Params
+	// vocab maps each SAX word seen in training to its histogram index.
+	vocab map[string]int
+	bags  [][]float64
+	y     []int
+}
+
+// Train builds the histogram index for the training set.
+func Train(train ts.Dataset, p sax.Params) *Model {
+	if len(train) == 0 {
+		panic("bop: empty training set")
+	}
+	m := &Model{params: p, vocab: map[string]int{}}
+	counts := make([]map[string]float64, len(train))
+	for i, in := range train {
+		counts[i] = bag(in.Values, p)
+		for w := range counts[i] {
+			if _, ok := m.vocab[w]; !ok {
+				m.vocab[w] = len(m.vocab)
+			}
+		}
+	}
+	m.bags = make([][]float64, len(train))
+	m.y = train.Labels()
+	for i, c := range counts {
+		m.bags[i] = m.vector(c)
+	}
+	return m
+}
+
+// bag builds the word-frequency map of one series.
+func bag(v []float64, p sax.Params) map[string]float64 {
+	q := p
+	if q.Window > len(v) {
+		q.Window = len(v)
+		if q.PAA > q.Window {
+			q.PAA = q.Window
+		}
+	}
+	out := map[string]float64{}
+	for _, w := range sax.Discretize(v, q, true, nil) {
+		out[w.Word]++
+	}
+	return out
+}
+
+// vector projects a word-frequency map onto the training vocabulary
+// (unknown words are dropped, as in the original formulation).
+func (m *Model) vector(c map[string]float64) []float64 {
+	out := make([]float64, len(m.vocab))
+	for w, f := range c {
+		if i, ok := m.vocab[w]; ok {
+			out[i] = f
+		}
+	}
+	return out
+}
+
+// Params returns the SAX parameters.
+func (m *Model) Params() sax.Params { return m.params }
+
+// Predict classifies one series by 1NN over histograms.
+func (m *Model) Predict(v []float64) int {
+	q := m.vector(bag(v, m.params))
+	best := math.Inf(1)
+	label := m.y[0]
+	for i, b := range m.bags {
+		var d float64
+		for j := range q {
+			diff := q[j] - b[j]
+			d += diff * diff
+			if d > best {
+				break
+			}
+		}
+		if d < best {
+			best = d
+			label = m.y[i]
+		}
+	}
+	return label
+}
+
+// PredictBatch classifies every instance of test.
+func (m *Model) PredictBatch(test ts.Dataset) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = m.Predict(in.Values)
+	}
+	return out
+}

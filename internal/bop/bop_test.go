@@ -1,0 +1,69 @@
+package bop
+
+import (
+	"testing"
+
+	"rpm/internal/datagen"
+	"rpm/internal/sax"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+func TestTrainPredictCBF(t *testing.T) {
+	s := datagen.MustByName("SynCBF").Generate(1)
+	m := Train(s.Train, sax.Params{Window: 40, PAA: 6, Alphabet: 4})
+	preds := m.PredictBatch(s.Test)
+	if e := stats.ErrorRate(preds, s.Test.Labels()); e > 0.25 {
+		t.Errorf("BOP error on SynCBF = %v", e)
+	}
+}
+
+func TestTrainPredictGunPoint(t *testing.T) {
+	s := datagen.MustByName("SynGunPoint").Generate(2)
+	m := Train(s.Train, sax.Params{Window: 30, PAA: 6, Alphabet: 4})
+	preds := m.PredictBatch(s.Test)
+	if e := stats.ErrorRate(preds, s.Test.Labels()); e > 0.2 {
+		t.Errorf("BOP error on SynGunPoint = %v", e)
+	}
+}
+
+func TestUnknownWordsDropped(t *testing.T) {
+	train := ts.Dataset{
+		{Label: 1, Values: []float64{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}},
+		{Label: 2, Values: []float64{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}},
+	}
+	m := Train(train, sax.Params{Window: 6, PAA: 3, Alphabet: 3})
+	// A wildly different series still gets some valid label.
+	q := []float64{9, -9, 9, -9, 9, -9, 9, -9, 9, -9, 9, -9}
+	if got := m.Predict(q); got != 1 && got != 2 {
+		t.Errorf("Predict = %d", got)
+	}
+}
+
+func TestWindowLargerThanSeries(t *testing.T) {
+	train := ts.Dataset{
+		{Label: 1, Values: []float64{0, 1, 2, 3}},
+		{Label: 2, Values: []float64{3, 2, 1, 0}},
+	}
+	m := Train(train, sax.Params{Window: 100, PAA: 4, Alphabet: 3})
+	if got := m.Predict([]float64{0, 1, 2, 3}); got != 1 {
+		t.Errorf("Predict = %d, want 1", got)
+	}
+}
+
+func TestTrainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Train(nil, sax.Params{Window: 10, PAA: 4, Alphabet: 4})
+}
+
+func TestParamsAccessor(t *testing.T) {
+	s := datagen.MustByName("SynItalyPower").Generate(3)
+	p := sax.Params{Window: 10, PAA: 4, Alphabet: 4}
+	if got := Train(s.Train, p).Params(); got != p {
+		t.Errorf("Params = %v", got)
+	}
+}

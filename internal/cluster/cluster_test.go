@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// distMatrix builds a symmetric distance matrix from 1-D points.
+func distMatrix(points []float64) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(points[i] - points[j])
+		}
+	}
+	return d
+}
+
+func TestCompleteLinkageTwoBlobs(t *testing.T) {
+	points := []float64{0, 0.1, 0.2, 10, 10.1, 10.2}
+	got := CompleteLinkage(distMatrix(points), 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d clusters", len(got))
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("clusters = %v", got)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("clusters = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestCompleteLinkageKEqualsN(t *testing.T) {
+	points := []float64{5, 1, 9}
+	got := CompleteLinkage(distMatrix(points), 3)
+	if len(got) != 3 {
+		t.Fatalf("clusters = %v", got)
+	}
+	for i, c := range got {
+		if len(c) != 1 || c[0] != i {
+			t.Fatalf("clusters = %v", got)
+		}
+	}
+}
+
+func TestCompleteLinkageKOne(t *testing.T) {
+	points := []float64{1, 2, 3, 4}
+	got := CompleteLinkage(distMatrix(points), 1)
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("clusters = %v", got)
+	}
+}
+
+func TestCompleteLinkageEdgeCases(t *testing.T) {
+	if got := CompleteLinkage(nil, 2); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	// k > n clamps to n; k <= 0 clamps to 1
+	got := CompleteLinkage(distMatrix([]float64{1, 2}), 5)
+	if len(got) != 2 {
+		t.Errorf("k>n: %v", got)
+	}
+	got = CompleteLinkage(distMatrix([]float64{1, 2}), 0)
+	if len(got) != 1 {
+		t.Errorf("k=0: %v", got)
+	}
+}
+
+// Every item appears in exactly one cluster, and exactly k clusters are
+// produced (when k <= n).
+func TestCompleteLinkagePartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		k := int(kRaw%uint8(n)) + 1
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]float64, n)
+		for i := range points {
+			points[i] = rng.Float64() * 100
+		}
+		clusters := CompleteLinkage(distMatrix(points), k)
+		if len(clusters) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range clusters {
+			for _, i := range c {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRefineSeparatesGroups(t *testing.T) {
+	// Two well-separated, balanced blobs must be split apart.
+	var points []float64
+	for i := 0; i < 10; i++ {
+		points = append(points, float64(i)*0.01)
+	}
+	for i := 0; i < 10; i++ {
+		points = append(points, 100+float64(i)*0.01)
+	}
+	groups := SplitRefine(distMatrix(points), 0.3)
+	if len(groups) < 2 {
+		t.Fatalf("expected at least 2 groups, got %v", groups)
+	}
+	// no group may mix low and high points
+	for _, g := range groups {
+		low, high := false, false
+		for _, i := range g {
+			if points[i] < 50 {
+				low = true
+			} else {
+				high = true
+			}
+		}
+		if low && high {
+			t.Fatalf("mixed group %v", g)
+		}
+	}
+}
+
+func TestSplitRefineKeepsTightGroupWhole(t *testing.T) {
+	// A single tight blob: the 2-way split will be imbalanced or the
+	// recursion will stop quickly; every stop leaves groups >= 30% of parent.
+	var points []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 12; i++ {
+		points = append(points, rng.NormFloat64()*0.001)
+	}
+	// one clear outlier: an imbalanced split (1 vs 11) must be rejected
+	points = append(points, 1000)
+	groups := SplitRefine(distMatrix(points), 0.3)
+	if len(groups) != 1 {
+		t.Fatalf("outlier split should be rejected, groups = %v", groups)
+	}
+	if len(groups[0]) != 13 {
+		t.Fatalf("group lost items: %v", groups)
+	}
+}
+
+func TestSplitRefineSmallGroups(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		points := make([]float64, n)
+		for i := range points {
+			points[i] = float64(i) * 100
+		}
+		groups := SplitRefine(distMatrix(points), 0.3)
+		if n == 0 {
+			if groups != nil {
+				t.Errorf("n=0: %v", groups)
+			}
+			continue
+		}
+		if len(groups) != 1 || len(groups[0]) != n {
+			t.Errorf("n=%d: groups under 4 items must not be split: %v", n, groups)
+		}
+	}
+}
+
+// SplitRefine output is always a partition of the input items.
+func TestSplitRefinePartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw % 40)
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]float64, n)
+		for i := range points {
+			points[i] = rng.Float64() * 10
+		}
+		groups := SplitRefine(distMatrix(points), 0.3)
+		seen := map[int]bool{}
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			for _, i := range g {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRefineThreeBlobs(t *testing.T) {
+	var points []float64
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 8; i++ {
+			points = append(points, float64(c)*50+float64(i)*0.01)
+		}
+	}
+	groups := SplitRefine(distMatrix(points), 0.3)
+	if len(groups) != 3 {
+		t.Fatalf("expected 3 groups, got %d: %v", len(groups), groups)
+	}
+	for _, g := range groups {
+		if len(g) != 8 {
+			t.Fatalf("unbalanced groups: %v", groups)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package core implements RPM — Representative Pattern Mining — the
+// paper's contribution: a time-series classifier built on class-specific
+// representative patterns. Training (paper §3.2) discretizes each class's
+// concatenated series with SAX, finds recurrent variable-length patterns
+// with Sequitur grammar induction, refines them by hierarchical
+// clustering, prunes near-duplicates and non-discriminative candidates
+// with a feature-selection pass, and fits an SVM in the resulting
+// closest-match distance space. Classification (§3.1) transforms a series
+// into that space and applies the SVM. SAX parameters are optimized per
+// class with either exhaustive grid search or the DIRECT optimizer (§4).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rpm/internal/dist"
+	"rpm/internal/sax"
+	"rpm/internal/svm"
+	"rpm/internal/ts"
+)
+
+// ParamMode selects how SAX discretization parameters are chosen.
+type ParamMode int
+
+const (
+	// ParamFixed uses Options.Params for every class (no search).
+	ParamFixed ParamMode = iota
+	// ParamGrid runs the exhaustive cross-validated grid search of
+	// Algorithm 3.
+	ParamGrid
+	// ParamDIRECT runs the DIRECT-driven search of §4.2 (default).
+	ParamDIRECT
+)
+
+func (m ParamMode) String() string {
+	switch m {
+	case ParamFixed:
+		return "fixed"
+	case ParamGrid:
+		return "grid"
+	case ParamDIRECT:
+		return "direct"
+	default:
+		return fmt.Sprintf("ParamMode(%d)", int(m))
+	}
+}
+
+// GIAlgorithm selects the grammar-induction algorithm used for candidate
+// generation. The paper uses Sequitur but notes the technique "also works
+// with other (context-free) GI algorithms" (§3.2.2); Re-Pair is provided
+// as that alternative and ablated in bench_test.go.
+type GIAlgorithm int
+
+const (
+	// GISequitur is Nevill-Manning & Witten's online algorithm (default).
+	GISequitur GIAlgorithm = iota
+	// GIRePair is Larsson & Moffat's offline most-frequent-digram
+	// algorithm.
+	GIRePair
+)
+
+func (g GIAlgorithm) String() string {
+	switch g {
+	case GISequitur:
+		return "sequitur"
+	case GIRePair:
+		return "repair"
+	default:
+		return fmt.Sprintf("GIAlgorithm(%d)", int(g))
+	}
+}
+
+// Options configures RPM training. The zero value is NOT usable; call
+// DefaultOptions and override fields as needed.
+type Options struct {
+	// Gamma is the minimum pattern support as a fraction of the class's
+	// training instances (paper §3.2, default 0.2 as in §5.2).
+	Gamma float64
+	// TauPercentile is the percentile of intra-cluster pairwise distances
+	// used as the similar-pattern removal threshold τ (default 30, the
+	// value §3.2.3 and Table 3 recommend).
+	TauPercentile float64
+	// SplitMinFrac is the minimum balanced-split fraction of the
+	// clustering refinement (default 0.3, §3.2.2).
+	SplitMinFrac float64
+	// UseMedoid selects the cluster medoid instead of the centroid as the
+	// candidate pattern (§3.2.2 mentions both; default false = centroid).
+	UseMedoid bool
+	// NumerosityReduction toggles SAX numerosity reduction (§3.2.1,
+	// default true; exposed for the ablation benchmarks).
+	NumerosityReduction bool
+	// RotationInvariant enables the §6.1 transform: patterns are matched
+	// against both the series and its midpoint rotation.
+	RotationInvariant bool
+	// GI selects the grammar-induction algorithm (default GISequitur).
+	GI GIAlgorithm
+	// Mode selects the parameter search; Params is used when Mode is
+	// ParamFixed (and as a fallback when a search finds nothing).
+	Mode   ParamMode
+	Params sax.Params
+	// Splits is the number of random train/validate splits per parameter
+	// evaluation (default 5, Algorithm 3).
+	Splits int
+	// ValidateFrac is the fraction of the data kept for training in each
+	// split (default 0.7).
+	TrainFrac float64
+	// MaxEvals caps objective evaluations per class for ParamDIRECT and
+	// the total grid size for ParamGrid (default 60).
+	MaxEvals int
+	// SVM configures the classifier fitted on the transformed space.
+	SVM svm.Config
+	// VectorClassifier, when non-nil, replaces the built-in linear SVM:
+	// it is called with the transformed training matrix and labels and
+	// must return a predictor over transformed vectors. The paper notes
+	// RPM "can work with any classifier" (§3.1); this is that hook.
+	// Classifiers trained through it cannot be serialized with Save.
+	VectorClassifier func(X [][]float64, y []int) VectorPredictor `json:"-"`
+	// Seed drives the parameter-search splits (default 1).
+	Seed int64
+}
+
+// VectorPredictor classifies vectors in the representative-pattern
+// distance space.
+type VectorPredictor interface {
+	Predict(x []float64) int
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{
+		Gamma:               0.2,
+		TauPercentile:       30,
+		SplitMinFrac:        0.3,
+		NumerosityReduction: true,
+		Mode:                ParamDIRECT,
+		Splits:              5,
+		TrainFrac:           0.7,
+		MaxEvals:            60,
+		SVM:                 svm.Config{C: 1},
+		Seed:                1,
+	}
+}
+
+// Pattern is one representative pattern: a z-normalized prototype
+// subsequence owned by a class.
+type Pattern struct {
+	// Class is the label of the class the pattern represents.
+	Class int
+	// Values is the z-normalized prototype.
+	Values []float64
+	// Support is the number of distinct training instances of the class
+	// that contained the pattern's motif cluster.
+	Support int
+	// Freq is the total number of subsequence occurrences in the cluster
+	// the pattern was extracted from.
+	Freq int
+}
+
+// Classifier is a trained RPM model.
+type Classifier struct {
+	// Patterns are the selected representative patterns, the features of
+	// the transformed space (order matters).
+	Patterns []Pattern
+	// PerClassParams records the SAX parameters chosen for each class.
+	PerClassParams map[int]sax.Params
+	model          *svm.Model
+	custom         VectorPredictor
+	opts           Options
+	tf             *transformer
+	// fallback handles the degenerate case where no patterns survive:
+	// 1-nearest-neighbor on the raw training series.
+	fallback ts.Dataset
+}
+
+// Options returns the options the classifier was trained with.
+func (c *Classifier) Options() Options { return c.opts }
+
+// NumPatterns returns the number of representative patterns.
+func (c *Classifier) NumPatterns() int { return len(c.Patterns) }
+
+// Transform maps a series into the representative-pattern distance space:
+// feature k is the closest-match distance between the series and pattern k
+// (paper §2.1 "Time Series Transformation"). With RotationInvariant set,
+// the distance is the minimum over the series and its midpoint rotation
+// (§6.1).
+func (c *Classifier) Transform(v []float64) []float64 {
+	if c.tf == nil {
+		c.tf = newTransformer(c.Patterns, c.opts.RotationInvariant)
+	}
+	return c.tf.apply(v)
+}
+
+func transform(v []float64, patterns []Pattern, rotInv bool) []float64 {
+	return newTransformer(patterns, rotInv).apply(v)
+}
+
+// transformer caches per-pattern matchers so the pattern z-normalization
+// is done once, not once per (pattern, instance) pair.
+type transformer struct {
+	matchers []*dist.Matcher
+	rotInv   bool
+}
+
+func newTransformer(patterns []Pattern, rotInv bool) *transformer {
+	t := &transformer{rotInv: rotInv}
+	for _, p := range patterns {
+		t.matchers = append(t.matchers, dist.NewMatcher(p.Values))
+	}
+	return t
+}
+
+func (t *transformer) apply(v []float64) []float64 {
+	out := make([]float64, len(t.matchers))
+	var rotated []float64
+	if t.rotInv {
+		rotated = ts.RotateHalf(v)
+	}
+	for k, m := range t.matchers {
+		d := m.Best(v).Dist
+		if t.rotInv {
+			if d2 := m.Best(rotated).Dist; d2 < d {
+				d = d2
+			}
+		}
+		out[k] = d
+	}
+	return out
+}
+
+// applyAll transforms a whole dataset.
+func (t *transformer) applyAll(d ts.Dataset) [][]float64 {
+	X := make([][]float64, len(d))
+	for i, in := range d {
+		X[i] = t.apply(in.Values)
+	}
+	return X
+}
+
+// Predict classifies one series.
+func (c *Classifier) Predict(v []float64) int {
+	if len(c.Patterns) == 0 {
+		return c.predictFallback(v)
+	}
+	if c.custom != nil {
+		return c.custom.Predict(c.Transform(v))
+	}
+	return c.model.Predict(c.Transform(v))
+}
+
+// unexported hook: training rebuilds the transformer eagerly.
+func (c *Classifier) buildTransformer() {
+	c.tf = newTransformer(c.Patterns, c.opts.RotationInvariant)
+}
+
+// PredictBatch classifies every instance of test.
+func (c *Classifier) PredictBatch(test ts.Dataset) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = c.Predict(in.Values)
+	}
+	return out
+}
+
+// predictFallback is 1NN-ED over the raw training set, used only when the
+// pattern pool came out empty (e.g. pathological parameters on tiny data).
+func (c *Classifier) predictFallback(v []float64) int {
+	best := math.Inf(1)
+	label := 0
+	for _, in := range c.fallback {
+		if len(in.Values) != len(v) {
+			continue
+		}
+		d := dist.SqEuclideanEarly(in.Values, v, best)
+		if d < best {
+			best = d
+			label = in.Label
+		}
+	}
+	if math.IsInf(best, 1) && len(c.fallback) > 0 {
+		label = c.fallback[0].Label
+	}
+	return label
+}

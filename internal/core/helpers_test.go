@@ -1,0 +1,7 @@
+package core
+
+import "math/rand"
+
+// newTestRand gives tests a seeded random source without importing
+// math/rand in every file.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

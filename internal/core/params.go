@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"rpm/internal/direct"
+	"rpm/internal/sax"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+// splitPair is one random stratified train/validate split (Algorithm 3
+// line 7).
+type splitPair struct {
+	train    ts.Dataset
+	validate ts.Dataset
+}
+
+// evaluator scores SAX parameter vectors by the per-class F-measure
+// obtained on repeated train/validate splits. Evaluations are cached by
+// the (integer) parameter triple, so the per-class DIRECT searches share
+// work, mirroring the paper's observation that one full evaluation yields
+// F-measures for all classes at once.
+type evaluator struct {
+	opts    Options
+	classes []int
+	splits  []splitPair
+	cache   map[sax.Params]map[int]float64
+	evals   int
+}
+
+func newEvaluator(train ts.Dataset, opts Options) *evaluator {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	e := &evaluator{
+		opts:    opts,
+		classes: train.Classes(),
+		cache:   map[sax.Params]map[int]float64{},
+	}
+	for s := 0; s < opts.Splits; s++ {
+		tr, va := stats.StratifiedSplit(train, opts.TrainFrac, rng)
+		if len(tr) == 0 || len(va) == 0 {
+			continue
+		}
+		e.splits = append(e.splits, splitPair{train: tr, validate: va})
+	}
+	return e
+}
+
+// fmeasures returns the mean per-class F-measure of the parameter vector
+// over the splits. A split where no candidate survives contributes 0 for
+// every class (the paper's pruning: such a combination cannot win).
+func (e *evaluator) fmeasures(p sax.Params) map[int]float64 {
+	if f, ok := e.cache[p]; ok {
+		return f
+	}
+	e.evals++
+	acc := map[int]float64{}
+	for _, c := range e.classes {
+		acc[c] = 0
+	}
+	fixed := e.opts
+	fixed.Mode = ParamFixed
+	for _, sp := range e.splits {
+		perClass := map[int]sax.Params{}
+		for _, c := range e.classes {
+			perClass[c] = p
+		}
+		clf := trainWithParams(sp.train, perClass, fixed)
+		if len(clf.Patterns) == 0 {
+			continue // contributes 0 to every class
+		}
+		preds := clf.PredictBatch(sp.validate)
+		for _, m := range stats.FMeasures(preds, sp.validate.Labels()) {
+			if _, ok := acc[m.Class]; ok {
+				acc[m.Class] += m.F1
+			}
+		}
+	}
+	n := float64(len(e.splits))
+	if n > 0 {
+		for c := range acc {
+			acc[c] /= n
+		}
+	}
+	e.cache[p] = acc
+	return acc
+}
+
+// paramBounds returns the search box for series of length m: window in
+// [lo, hi], PAA size in [2,12], alphabet in [2,12] (§4's SAXParams vector).
+func paramBounds(m int) (wLo, wHi, paaLo, paaHi, aLo, aHi int) {
+	wLo = 10
+	if m < 40 {
+		wLo = 5
+	}
+	if wLo > m {
+		wLo = m
+	}
+	wHi = 2 * m / 3
+	if wHi < wLo+1 {
+		wHi = wLo + 1
+	}
+	if wHi > m {
+		wHi = m
+	}
+	return wLo, wHi, 2, 12, 2, 12
+}
+
+// clampParams rounds a continuous DIRECT sample to a valid parameter
+// triple.
+func clampParams(x []float64, m int) sax.Params {
+	wLo, wHi, paaLo, paaHi, aLo, aHi := paramBounds(m)
+	w := int(math.Round(x[0]))
+	paa := int(math.Round(x[1]))
+	a := int(math.Round(x[2]))
+	w = clampInt(w, wLo, wHi)
+	paa = clampInt(paa, paaLo, paaHi)
+	a = clampInt(a, aLo, aHi)
+	if paa > w {
+		paa = w
+	}
+	return sax.Params{Window: w, PAA: paa, Alphabet: a}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// selectParams learns the best SAX parameters per class with either the
+// exhaustive grid (Algorithm 3) or per-class DIRECT searches (§4.2).
+func selectParams(train ts.Dataset, opts Options) map[int]sax.Params {
+	e := newEvaluator(train, opts)
+	m := train.MinLen()
+	bestF := map[int]float64{}
+	bestP := map[int]sax.Params{}
+	for _, c := range e.classes {
+		bestF[c] = -1
+		bestP[c] = HeuristicParams(m)
+	}
+	consider := func(p sax.Params, fs map[int]float64) {
+		for _, c := range e.classes {
+			if f := fs[c]; f > bestF[c] {
+				bestF[c] = f
+				bestP[c] = p
+			}
+		}
+	}
+	switch opts.Mode {
+	case ParamGrid:
+		for _, p := range paramGrid(m, opts.MaxEvals) {
+			consider(p, e.fmeasures(p))
+		}
+	default: // ParamDIRECT
+		wLo, wHi, paaLo, paaHi, aLo, aHi := paramBounds(m)
+		lo := []float64{float64(wLo), float64(paaLo), float64(aLo)}
+		hi := []float64{float64(wHi), float64(paaHi), float64(aHi)}
+		for _, c := range e.classes {
+			class := c
+			direct.Minimize(func(x []float64) float64 {
+				p := clampParams(x, m)
+				fs := e.fmeasures(p)
+				consider(p, fs)
+				return 1 - fs[class]
+			}, lo, hi, direct.Options{MaxEvals: opts.MaxEvals})
+		}
+	}
+	return bestP
+}
+
+// paramGrid builds the exhaustive grid, thinned evenly if it exceeds the
+// evaluation budget.
+func paramGrid(m, maxEvals int) []sax.Params {
+	wLo, wHi, _, _, _, _ := paramBounds(m)
+	var windows []int
+	for _, f := range []float64{0.1, 0.15, 0.2, 0.3, 0.4, 0.55} {
+		w := clampInt(int(f*float64(m)), wLo, wHi)
+		windows = appendUnique(windows, w)
+	}
+	var grid []sax.Params
+	for _, w := range windows {
+		for _, paa := range []int{3, 5, 7, 9} {
+			if paa > w {
+				continue
+			}
+			for _, a := range []int{3, 4, 6, 8} {
+				grid = append(grid, sax.Params{Window: w, PAA: paa, Alphabet: a})
+			}
+		}
+	}
+	if maxEvals > 0 && len(grid) > maxEvals {
+		step := float64(len(grid)) / float64(maxEvals)
+		var thin []sax.Params
+		for i := 0.0; int(i) < len(grid) && len(thin) < maxEvals; i += step {
+			thin = append(thin, grid[int(i)])
+		}
+		grid = thin
+	}
+	return grid
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rpm/internal/sax"
+	"rpm/internal/svm"
+	"rpm/internal/ts"
+)
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// snapshot is the JSON shape of a saved classifier.
+type snapshot struct {
+	Version        int                `json:"version"`
+	Patterns       []Pattern          `json:"patterns"`
+	PerClassParams map[int]sax.Params `json:"perClassParams"`
+	Options        Options            `json:"options"`
+	SVM            *svm.Snapshot      `json:"svm,omitempty"`
+	// Fallback is stored only for degenerate models with no patterns,
+	// which classify by 1NN on the raw training set.
+	Fallback ts.Dataset `json:"fallback,omitempty"`
+}
+
+// Save serializes the trained classifier as JSON. The format is versioned;
+// Load rejects unknown versions. Classifiers trained with a custom
+// VectorClassifier cannot be serialized.
+func (c *Classifier) Save(w io.Writer) error {
+	if c.custom != nil {
+		return fmt.Errorf("core: classifiers with a custom VectorClassifier cannot be saved")
+	}
+	s := snapshot{
+		Version:        persistVersion,
+		Patterns:       c.Patterns,
+		PerClassParams: c.PerClassParams,
+		Options:        c.opts,
+	}
+	if c.model != nil {
+		snap := c.model.Snapshot()
+		s.SVM = &snap
+	}
+	if len(c.Patterns) == 0 {
+		s.Fallback = c.fallback
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Load deserializes a classifier previously written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var s snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding classifier: %w", err)
+	}
+	if s.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported classifier version %d", s.Version)
+	}
+	c := &Classifier{
+		Patterns:       s.Patterns,
+		PerClassParams: s.PerClassParams,
+		opts:           s.Options,
+		fallback:       s.Fallback,
+	}
+	if len(s.Patterns) > 0 {
+		if s.SVM == nil {
+			return nil, fmt.Errorf("core: classifier has patterns but no SVM state")
+		}
+		m, err := svm.FromSnapshot(*s.SVM)
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
+		c.buildTransformer()
+	} else if len(s.Fallback) == 0 {
+		return nil, fmt.Errorf("core: classifier has neither patterns nor fallback data")
+	}
+	return c, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rpm/internal/datagen"
+	"rpm/internal/sax"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := datagen.MustByName("SynGunPoint").Generate(1)
+	c, err := Train(s.Train, fixedOpts(sax.Params{Window: 30, PAA: 6, Alphabet: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPatterns() == 0 {
+		t.Fatal("need patterns for this test")
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPatterns() != c.NumPatterns() {
+		t.Fatalf("pattern count changed: %d -> %d", c.NumPatterns(), loaded.NumPatterns())
+	}
+	// Loaded model must predict identically.
+	for _, in := range s.Test[:30] {
+		if got, want := loaded.Predict(in.Values), c.Predict(in.Values); got != want {
+			t.Fatalf("loaded model predicts %d, original %d", got, want)
+		}
+	}
+	// Parameters survive.
+	for class, p := range c.PerClassParams {
+		if loaded.PerClassParams[class] != p {
+			t.Error("per-class params changed")
+		}
+	}
+}
+
+func TestSaveLoadFallbackModel(t *testing.T) {
+	s := datagen.MustByName("SynMoteStrain").Generate(9)
+	o := fixedOpts(sax.Params{Window: 80, PAA: 12, Alphabet: 12})
+	o.Gamma = 1.0
+	c, err := Train(s.Train, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPatterns() != 0 {
+		t.Skip("patterns found; fallback persistence untested on this seed")
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range s.Test[:10] {
+		if loaded.Predict(in.Values) != c.Predict(in.Values) {
+			t.Fatal("fallback predictions differ after reload")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version": 99}`,
+		`{"version": 1, "patterns": [{"Class":1,"Values":[1,2]}]}`, // patterns but no SVM
+		`{"version": 1}`, // neither patterns nor fallback
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

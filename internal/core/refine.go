@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"rpm/internal/dist"
+	"rpm/internal/features"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+// findDistinct implements Algorithm 2: compute the similarity threshold τ
+// from the pooled intra-cluster distances, drop near-duplicate candidates
+// (keeping the more frequent of each similar pair), transform the training
+// set into the candidate distance space, and keep only the features CFS
+// selects. It returns the surviving candidates as Patterns, in feature
+// order.
+func findDistinct(train ts.Dataset, cands []candidate, opts Options) []Pattern {
+	if len(cands) == 0 {
+		return nil
+	}
+	tau := computeTau(cands, opts.TauPercentile)
+	kept := removeSimilar(cands, tau)
+	if len(kept) == 0 {
+		return nil
+	}
+	// Transform the training data: feature j = closest-match distance to
+	// candidate j (Alg. 2 line 20).
+	pats := toPatterns(kept)
+	X := newTransformer(pats, opts.RotationInvariant).applyAll(train)
+	selected := features.Select(X, train.Labels())
+	if len(selected) == 0 {
+		return nil
+	}
+	out := make([]Pattern, 0, len(selected))
+	for _, j := range selected {
+		out = append(out, pats[j])
+	}
+	return out
+}
+
+// computeTau pools the intra-cluster pairwise distances of all candidates
+// and returns the configured percentile (Alg. 2 line 3; default the 30th).
+func computeTau(cands []candidate, percentile float64) float64 {
+	var all []float64
+	for _, c := range cands {
+		all = append(all, c.intraDists...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	return stats.Percentile(all, percentile)
+}
+
+// removeSimilar drops candidates whose closest-match distance to an
+// already-kept candidate is below τ, keeping whichever of the pair is more
+// frequent (Alg. 2 lines 5-18). Candidates are processed in descending
+// frequency order (ties by class then support) so the outcome is
+// deterministic and frequent patterns win.
+func removeSimilar(cands []candidate, tau float64) []candidate {
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := cands[order[a]], cands[order[b]]
+		if ca.freq != cb.freq {
+			return ca.freq > cb.freq
+		}
+		if ca.support != cb.support {
+			return ca.support > cb.support
+		}
+		return ca.class < cb.class
+	})
+	var kept []candidate
+	var keptMatchers []*dist.Matcher
+	for _, i := range order {
+		c := cands[i]
+		similar := false
+		for ki, m := range keptMatchers {
+			// match the shorter candidate inside the longer one
+			var d float64
+			if m.Len() <= len(c.values) {
+				d = m.Best(c.values).Dist
+			} else {
+				d = dist.ClosestMatch(c.values, kept[ki].values).Dist
+			}
+			if d < tau {
+				similar = true
+				break
+			}
+		}
+		if !similar {
+			kept = append(kept, c)
+			keptMatchers = append(keptMatchers, dist.NewMatcher(c.values))
+		}
+	}
+	return kept
+}
+
+func toPatterns(cands []candidate) []Pattern {
+	out := make([]Pattern, len(cands))
+	for i, c := range cands {
+		out[i] = Pattern{Class: c.class, Values: c.values, Support: c.support, Freq: c.freq}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rpm/internal/sax"
+	"rpm/internal/svm"
+	"rpm/internal/ts"
+)
+
+// Train learns an RPM classifier from the training set. The training data
+// should be per-instance z-normalized (the UCR convention); the SAX
+// transform z-normalizes windows regardless.
+func Train(train ts.Dataset, opts Options) (*Classifier, error) {
+	if len(train) == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	if opts.Gamma <= 0 || opts.Gamma > 1 {
+		return nil, fmt.Errorf("core: gamma %v outside (0,1]", opts.Gamma)
+	}
+	if opts.Splits <= 0 {
+		opts.Splits = 5
+	}
+	if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
+		opts.TrainFrac = 0.7
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 60
+	}
+	classes := train.Classes()
+	var perClass map[int]sax.Params
+	switch opts.Mode {
+	case ParamFixed:
+		p := opts.Params
+		if p == (sax.Params{}) {
+			p = HeuristicParams(train.MinLen())
+		}
+		perClass = map[int]sax.Params{}
+		for _, c := range classes {
+			perClass[c] = p
+		}
+	case ParamGrid, ParamDIRECT:
+		perClass = selectParams(train, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown parameter mode %v", opts.Mode)
+	}
+	c := trainWithParams(train, perClass, opts)
+	if len(c.Patterns) == 0 && opts.Mode != ParamFixed {
+		// The searched parameters can fail to generalize from the
+		// evaluation splits to the full training set (tiny datasets).
+		// Retry once with the heuristic defaults before accepting the
+		// 1NN fallback.
+		retry := map[int]sax.Params{}
+		for _, cl := range classes {
+			retry[cl] = HeuristicParams(train.MinLen())
+		}
+		if c2 := trainWithParams(train, retry, opts); len(c2.Patterns) > 0 {
+			return c2, nil
+		}
+	}
+	return c, nil
+}
+
+// HeuristicParams returns sensible fixed SAX parameters for series of
+// length m: a quarter-length window, 6 PAA segments and a 4-letter
+// alphabet, each clamped to validity.
+func HeuristicParams(m int) sax.Params {
+	w := m / 4
+	if w < 8 {
+		w = 8
+	}
+	if w > m {
+		w = m
+	}
+	paa := 6
+	if paa > w {
+		paa = w
+	}
+	return sax.Params{Window: w, PAA: paa, Alphabet: 4}
+}
+
+// trainWithParams runs the candidate/refine/select pipeline with known
+// per-class SAX parameters and fits the SVM (§4.3: candidates from every
+// class's own parameter set are pooled, then pruned together).
+func trainWithParams(train ts.Dataset, perClass map[int]sax.Params, opts Options) *Classifier {
+	byClass := train.ByClass()
+	var cands []candidate
+	for _, class := range train.Classes() {
+		p, ok := perClass[class]
+		if !ok {
+			p = HeuristicParams(train.MinLen())
+			perClass[class] = p
+		}
+		cands = append(cands, findCandidates(byClass[class], class, p, opts)...)
+	}
+	patterns := findDistinct(train, cands, opts)
+	c := &Classifier{
+		Patterns:       patterns,
+		PerClassParams: perClass,
+		opts:           opts,
+		fallback:       train,
+	}
+	if len(patterns) == 0 {
+		return c
+	}
+	c.buildTransformer()
+	X := c.tf.applyAll(train)
+	if opts.VectorClassifier != nil {
+		c.custom = opts.VectorClassifier(X, train.Labels())
+		return c
+	}
+	cfg := opts.SVM
+	if cfg.Seed == 0 {
+		cfg.Seed = opts.Seed
+	}
+	c.model = svm.Train(X, train.Labels(), cfg)
+	return c
+}

@@ -1,0 +1,91 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ABP synthesizes the medical-alarm case study data (paper §6.2). The
+// paper used arterial-blood-pressure segments from the MIMIC-II ICU
+// database, which cannot be shipped; this generator produces the same kind
+// of signal — a quasi-periodic beat train with systolic upstroke, dicrotic
+// notch and diastolic decay — where only local beat morphology separates
+// the classes:
+//
+//	class 1 (normal):  regular beats, systolic ~120 / diastolic ~75 mmHg
+//	class 2 (alarm):   hypotensive beats (low systolic, narrowed pulse
+//	                   pressure) or damped/artifact beats, the morphologies
+//	                   that trigger ICU ABP alarms
+//
+// Series are NOT z-normalized: absolute pressure level is part of the
+// signal, as in the source data.
+func ABP() Generator {
+	const n = 256
+	return Generator{
+		Spec:    Spec{Name: "SynABPAlarm", Classes: 2, TrainSize: 40, TestSize: 120, Length: n},
+		NoZNorm: true,
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			period := 32 + rng.Intn(6) // beat-to-beat interval in samples
+			phase := rng.Intn(period)
+			sys := 120.0 + rng.NormFloat64()*5
+			dia := 75.0 + rng.NormFloat64()*4
+			damped := false
+			if class == 2 {
+				if rng.Intn(2) == 0 { // hypotension with narrowed pulse pressure
+					sys = 78 + rng.NormFloat64()*4
+					dia = 55 + rng.NormFloat64()*3
+				} else { // damped waveform / catheter artifact
+					damped = true
+				}
+			}
+			for beat := -1; ; beat++ {
+				start := beat*period + phase
+				if start >= n {
+					break
+				}
+				writeBeat(v, start, period, sys, dia, damped, rng)
+			}
+			addNoise(v, rng, 1.2)
+			return v
+		},
+	}
+}
+
+// writeBeat renders one ABP pulse starting at start: fast systolic
+// upstroke, rounded peak, dicrotic notch at ~40% of the cycle, then
+// exponential diastolic decay toward the diastolic pressure.
+func writeBeat(v []float64, start, period int, sys, dia float64, damped bool, rng *rand.Rand) {
+	pulse := sys - dia
+	if damped {
+		pulse *= 0.35 // damping attenuates the pulse and blurs the notch
+	}
+	notchAt := int(0.4 * float64(period))
+	for i := 0; i < period; i++ {
+		t := start + i
+		if t < 0 || t >= len(v) {
+			continue
+		}
+		frac := float64(i) / float64(period)
+		var x float64
+		switch {
+		case frac < 0.12: // upstroke
+			x = dia + pulse*(frac/0.12)
+		case frac < 0.3: // systolic peak, slightly rounded
+			x = dia + pulse*(1-0.5*(frac-0.12)/0.18*0.3)
+		case i == notchAt || i == notchAt+1: // dicrotic notch
+			depth := 0.35
+			if damped {
+				depth = 0.1
+			}
+			x = dia + pulse*(0.55-depth*0.5)
+		default: // diastolic decay
+			x = dia + pulse*0.6*math.Exp(-3*(frac-0.3))
+		}
+		v[t] += x
+	}
+	// tiny per-beat variability
+	if start >= 0 && start < len(v) {
+		v[start] += rng.NormFloat64() * 0.5
+	}
+}

@@ -1,0 +1,126 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rpm/internal/dataset"
+	"rpm/internal/ts"
+)
+
+// Spec describes a synthetic dataset's shape: class count, split sizes and
+// series length. TrainSize and TestSize are totals across classes;
+// instances are allocated to classes as evenly as possible unless the
+// generator defines its own class proportions.
+type Spec struct {
+	Name      string
+	Classes   int
+	TrainSize int
+	TestSize  int
+	Length    int
+}
+
+// Generator couples a Spec with the per-instance synthesis function.
+type Generator struct {
+	Spec
+	// ClassWeights, when non-nil, gives relative class frequencies
+	// (e.g. the Wafer-like dataset is 9:1 imbalanced). nil means balanced.
+	ClassWeights []float64
+	// Gen writes one raw instance of the given class (1-based) into a
+	// fresh slice of Spec.Length points.
+	Gen func(rng *rand.Rand, class int) []float64
+	// NoZNorm disables the per-instance z-normalization that mimics the
+	// UCR archive's preprocessing (raw amplitudes kept, e.g. for the ABP
+	// case study).
+	NoZNorm bool
+}
+
+// Generate synthesizes the dataset deterministically from the seed.
+func (g Generator) Generate(seed int64) dataset.Split {
+	rng := rand.New(rand.NewSource(seed))
+	return dataset.Split{
+		Name:  g.Name,
+		Train: g.part(rng, g.TrainSize),
+		Test:  g.part(rng, g.TestSize),
+	}
+}
+
+func (g Generator) part(rng *rand.Rand, total int) ts.Dataset {
+	counts := g.allocate(total)
+	var out ts.Dataset
+	for class := 1; class <= g.Classes; class++ {
+		for i := 0; i < counts[class-1]; i++ {
+			v := g.Gen(rng, class)
+			if len(v) != g.Length {
+				panic(fmt.Sprintf("datagen: %s class %d produced length %d, want %d", g.Name, class, len(v), g.Length))
+			}
+			if !g.NoZNorm {
+				ts.ZNormInto(v, v)
+			}
+			out = append(out, ts.Instance{Label: class, Values: v})
+		}
+	}
+	// Shuffle the instance order so splits are not class-sorted.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// allocate distributes total instances over the classes according to
+// ClassWeights (balanced when nil), guaranteeing at least one instance per
+// class when total >= Classes.
+func (g Generator) allocate(total int) []int {
+	w := g.ClassWeights
+	if w == nil {
+		w = make([]float64, g.Classes)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	if len(w) != g.Classes {
+		panic(fmt.Sprintf("datagen: %s has %d weights for %d classes", g.Name, len(w), g.Classes))
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	counts := make([]int, g.Classes)
+	assigned := 0
+	for i, x := range w {
+		counts[i] = int(float64(total) * x / sum)
+		if counts[i] == 0 && total >= g.Classes {
+			counts[i] = 1
+		}
+		assigned += counts[i]
+	}
+	// distribute the remainder round-robin
+	for i := 0; assigned < total; i = (i + 1) % g.Classes {
+		counts[i]++
+		assigned++
+	}
+	for i := g.Classes - 1; assigned > total; i = (i - 1 + g.Classes) % g.Classes {
+		if counts[i] > 1 || total < g.Classes {
+			counts[i]--
+			assigned--
+		}
+	}
+	return counts
+}
+
+// ByName returns the suite generator with the given name.
+func ByName(name string) (Generator, bool) {
+	for _, g := range Suite() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// MustByName is ByName that panics on unknown names; for tests and examples.
+func MustByName(name string) Generator {
+	g, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("datagen: unknown dataset %q", name))
+	}
+	return g
+}

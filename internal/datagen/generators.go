@@ -1,0 +1,501 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Suite returns the full synthetic evaluation suite: one generator per
+// UCR dataset appearing in the paper's evaluation tables, structurally
+// faithful but size-scaled so the entire 6-classifier comparison runs on a
+// laptop (the paper's shapes — who wins, by roughly what factor — are the
+// reproduction target, not absolute runtimes). Names carry a "Syn" prefix
+// to make the substitution explicit in every report.
+func Suite() []Generator {
+	out := []Generator{
+		CBF(),
+		TwoPatterns(),
+		SyntheticControl(),
+		Trace(),
+		GunPoint(),
+		Coffee(),
+		ECGFiveDays(),
+		ECG200(),
+		ItalyPowerDemand(),
+		FaceFour(),
+		SwedishLeaf(),
+		OSULeaf(),
+		MoteStrain(),
+		Lightning2(),
+		Wafer(),
+		Beef(),
+		Symbols(),
+	}
+	return append(out, suite2()...)
+}
+
+// CBF is the classic Cylinder-Bell-Funnel synthetic dataset (Saito 1994),
+// generated from its published equations: an event window [a,b] with a ~
+// U(16,32), b-a ~ U(32,96), amplitude 6+N(0,1), carrying a plateau
+// (cylinder), an increasing ramp with a sudden drop (bell), or a sudden
+// rise with a decreasing ramp (funnel), plus N(0,1) noise.
+func CBF() Generator {
+	const n = 128
+	return Generator{
+		Spec: Spec{Name: "SynCBF", Classes: 3, TrainSize: 30, TestSize: 300, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			a := int(uniform(rng, 16, 32))
+			b := a + int(uniform(rng, 32, 96))
+			if b > n-1 {
+				b = n - 1
+			}
+			amp := 6 + rng.NormFloat64()
+			for i := a; i <= b; i++ {
+				switch class {
+				case 1: // cylinder
+					v[i] += amp
+				case 2: // bell
+					v[i] += amp * float64(i-a) / float64(b-a+1)
+				case 3: // funnel
+					v[i] += amp * float64(b-i) / float64(b-a+1)
+				}
+			}
+			addNoise(v, rng, 1)
+			return v
+		},
+	}
+}
+
+// TwoPatterns embeds two step events (each either up-down or down-up) at
+// jittered positions in the two halves of the series; the four classes are
+// the four combinations, so only local event shapes separate them.
+func TwoPatterns() Generator {
+	const n = 128
+	event := func(v []float64, rng *rand.Rand, pos int, up bool) {
+		width := 8 + rng.Intn(8)
+		amp := 4.0 + rng.Float64()
+		if !up {
+			amp = -amp
+		}
+		for i := pos; i < pos+width && i < len(v); i++ {
+			v[i] += amp
+		}
+		for i := pos + width; i < pos+2*width && i < len(v); i++ {
+			v[i] -= amp
+		}
+	}
+	return Generator{
+		Spec: Spec{Name: "SynTwoPatterns", Classes: 4, TrainSize: 100, TestSize: 200, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			firstUp := class == 1 || class == 2
+			secondUp := class == 1 || class == 3
+			event(v, rng, 5+rng.Intn(30), firstUp)
+			event(v, rng, 69+rng.Intn(30), secondUp)
+			addNoise(v, rng, 0.6)
+			return v
+		},
+	}
+}
+
+// SyntheticControl reproduces the six control-chart classes: normal,
+// cyclic, increasing trend, decreasing trend, upward shift, downward shift.
+func SyntheticControl() Generator {
+	const n = 60
+	return Generator{
+		Spec: Spec{Name: "SynControl", Classes: 6, TrainSize: 60, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			m := 30.0
+			for i := range v {
+				v[i] = m
+			}
+			switch class {
+			case 1: // normal: noise only
+			case 2: // cyclic
+				addSine(v, uniform(rng, 10, 15), uniform(rng, 10, 15), rng.Float64()*2*math.Pi)
+			case 3: // increasing trend
+				g := uniform(rng, 0.2, 0.5)
+				addRampBlock(v, 0, n, 0, g*float64(n))
+			case 4: // decreasing trend
+				g := uniform(rng, 0.2, 0.5)
+				addRampBlock(v, 0, n, 0, -g*float64(n))
+			case 5: // upward shift
+				t0 := int(uniform(rng, float64(n)/3, 2*float64(n)/3))
+				x := uniform(rng, 7.5, 20)
+				for i := t0; i < n; i++ {
+					v[i] += x
+				}
+			case 6: // downward shift
+				t0 := int(uniform(rng, float64(n)/3, 2*float64(n)/3))
+				x := uniform(rng, 7.5, 20)
+				for i := t0; i < n; i++ {
+					v[i] -= x
+				}
+			}
+			addNoise(v, rng, 2)
+			return v
+		},
+	}
+}
+
+// Trace mimics the nuclear-instrumentation transients of the Trace dataset:
+// all classes share a baseline-then-step structure; classes differ in a
+// small pre-step oscillation and in whether the step rises or decays back.
+func Trace() Generator {
+	const n = 200
+	return Generator{
+		Spec: Spec{Name: "SynTrace", Classes: 4, TrainSize: 40, TestSize: 60, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			step := 90 + rng.Intn(20)
+			hasOsc := class == 2 || class == 4
+			decays := class == 3 || class == 4
+			if hasOsc {
+				addDampedBurst(v, step-40, 12, 9, 1.5)
+			}
+			if decays {
+				// rise then exponential return to baseline
+				for i := step; i < n; i++ {
+					v[i] += 4 * math.Exp(-float64(i-step)/35)
+				}
+			} else {
+				for i := step; i < n; i++ {
+					v[i] += 4
+				}
+			}
+			addNoise(v, rng, 0.15)
+			return smooth(v, 2)
+		},
+	}
+}
+
+// GunPoint mirrors the Gun/Point motion-capture dataset: both classes raise
+// a hand to a plateau and lower it; the Gun class adds the holster dip
+// before the rise and after the fall — a strictly local discriminator.
+func GunPoint() Generator {
+	const n = 150
+	return Generator{
+		Spec: Spec{Name: "SynGunPoint", Classes: 2, TrainSize: 50, TestSize: 150, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			rise := 30 + rng.Intn(10)
+			fall := 100 + rng.Intn(10)
+			addPlateau(v, rise, fall, 12, 5+rng.NormFloat64()*0.3)
+			if class == 2 { // gun: holster dips
+				addBump(v, float64(rise-10), 4, -1.2+rng.NormFloat64()*0.1)
+				addBump(v, float64(fall+14), 4, -1.2+rng.NormFloat64()*0.1)
+			}
+			addNoise(v, rng, 0.12)
+			return smooth(v, 2)
+		},
+	}
+}
+
+// spectrum builds a spectroscopy-like series: fixed Gaussian bands whose
+// amplitudes are per-class base levels plus small per-instance variation.
+func spectrum(rng *rand.Rand, n int, centers, widths, amps []float64, noise float64) []float64 {
+	v := make([]float64, n)
+	for i, c := range centers {
+		addBump(v, c, widths[i], amps[i]*(1+rng.NormFloat64()*0.05))
+	}
+	addNoise(v, rng, noise)
+	return v
+}
+
+// Coffee mirrors the Robusta/Arabica FT-IR spectra: the classes share the
+// carbohydrate/lipid bands and differ in the caffeine and chlorogenic-acid
+// band amplitudes (paper Fig. 3).
+func Coffee() Generator {
+	const n = 286
+	base := []float64{30, 75, 120, 170, 210, 250}
+	widths := []float64{12, 10, 14, 9, 11, 13}
+	return Generator{
+		Spec: Spec{Name: "SynCoffee", Classes: 2, TrainSize: 28, TestSize: 28, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			amps := []float64{3, 2.5, 4, 2, 3.5, 2.8}
+			if class == 1 { // robusta: stronger caffeine/chlorogenic bands
+				amps[1] *= 1.7
+				amps[3] *= 1.6
+			} else { // arabica
+				amps[1] *= 1.0
+				amps[3] *= 0.9
+			}
+			return spectrum(rng, n, base, widths, amps, 0.05)
+		},
+	}
+}
+
+// heartbeat writes one synthetic PQRST complex starting at pos.
+func heartbeat(v []float64, pos int, stDelta, tAmp float64) {
+	fp := float64(pos)
+	addBump(v, fp+8, 3, 0.25)    // P
+	addBump(v, fp+18, 1.2, -0.4) // Q
+	addBump(v, fp+21, 1.6, 3.0)  // R
+	addBump(v, fp+24, 1.4, -0.8) // S
+	for i := pos + 26; i < pos+34 && i < len(v); i++ {
+		v[i] += stDelta // ST segment shift
+	}
+	addBump(v, fp+40, 5, tAmp) // T
+}
+
+// ECGFiveDays mirrors its namesake: one beat per series, the classes
+// differing subtly in ST level and T-wave amplitude (paper Fig. 5).
+func ECGFiveDays() Generator {
+	const n = 136
+	return Generator{
+		Spec: Spec{Name: "SynECGFiveDays", Classes: 2, TrainSize: 23, TestSize: 100, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			pos := 30 + rng.Intn(12)
+			if class == 1 {
+				heartbeat(v, pos, 0, 0.9+rng.NormFloat64()*0.05)
+			} else {
+				heartbeat(v, pos, -0.35, 0.45+rng.NormFloat64()*0.05)
+			}
+			addNoise(v, rng, 0.06)
+			return v
+		},
+	}
+}
+
+// ECG200 mirrors ECG200: normal beats vs. ischemia-like beats with widened
+// QRS and inverted T wave.
+func ECG200() Generator {
+	const n = 96
+	return Generator{
+		Spec: Spec{Name: "SynECG200", Classes: 2, TrainSize: 60, TestSize: 100, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			pos := 15 + rng.Intn(10)
+			if class == 1 {
+				heartbeat(v, pos, 0, 0.8)
+			} else {
+				fp := float64(pos)
+				addBump(v, fp+8, 3, 0.25)
+				addBump(v, fp+21, 3.2, 2.2) // widened, lower R
+				addBump(v, fp+26, 2.4, -0.9)
+				addBump(v, fp+40, 6, -0.6+rng.NormFloat64()*0.05) // inverted T
+			}
+			addNoise(v, rng, 0.12)
+			return v
+		},
+	}
+}
+
+// ItalyPowerDemand mirrors the short (24-point) daily power curves:
+// winter days have a pronounced evening peak, summer days a flatter,
+// midday-weighted profile.
+func ItalyPowerDemand() Generator {
+	const n = 24
+	return Generator{
+		Spec: Spec{Name: "SynItalyPower", Classes: 2, TrainSize: 30, TestSize: 200, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addBump(v, 8, 2.5, 1.5) // morning ramp-up, both classes
+			if class == 1 {         // winter: evening peak
+				addBump(v, 19, 2.2, 2.2+rng.NormFloat64()*0.15)
+			} else { // summer: midday plateau, weak evening
+				addBump(v, 13, 3.5, 1.8+rng.NormFloat64()*0.15)
+				addBump(v, 19, 2.2, 0.8)
+			}
+			addNoise(v, rng, 0.18)
+			return v
+		},
+	}
+}
+
+// FaceFour mirrors the four-person face-outline dataset: a shared head
+// profile (low harmonics) with person-specific local features at distinct
+// contour positions.
+func FaceFour() Generator {
+	const n = 150
+	return Generator{
+		Spec: Spec{Name: "SynFaceFour", Classes: 4, TrainSize: 24, TestSize: 88, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addSine(v, n, 2, rng.NormFloat64()*0.05)
+			addSine(v, float64(n)/2, 0.8, 0.3)
+			jitter := rng.NormFloat64() * 2
+			switch class {
+			case 1: // prominent nose bump
+				addBump(v, 40+jitter, 4, 2.5)
+			case 2: // double chin ripple
+				addBump(v, 90+jitter, 5, 1.8)
+				addBump(v, 105+jitter, 5, 1.8)
+			case 3: // flat brow, deep eye notch
+				addBump(v, 25+jitter, 6, -2.2)
+			case 4: // wide jaw plateau
+				addPlateau(v, 70+int(jitter), 100+int(jitter), 8, 1.6)
+			}
+			addNoise(v, rng, 0.25)
+			return smooth(v, 1)
+		},
+	}
+}
+
+// harmonicContour builds leaf-contour-like series from class-specific
+// harmonic coefficients with per-instance perturbation.
+func harmonicContour(rng *rand.Rand, n, class, harmonics int, scale float64, noise float64) []float64 {
+	v := make([]float64, n)
+	clsRng := rand.New(rand.NewSource(int64(class) * 7919))
+	for k := 1; k <= harmonics; k++ {
+		amp := clsRng.Float64() * scale / float64(k)
+		phase := clsRng.Float64() * 2 * math.Pi
+		addSine(v, float64(n)/float64(k), amp*(1+rng.NormFloat64()*0.15), phase+rng.NormFloat64()*0.08)
+	}
+	addNoise(v, rng, noise)
+	return v
+}
+
+// SwedishLeaf mirrors the leaf-contour dataset (scaled from 15 species to
+// 8): smooth closed-contour harmonics per species.
+func SwedishLeaf() Generator {
+	const n = 128
+	return Generator{
+		Spec: Spec{Name: "SynSwedishLeaf", Classes: 8, TrainSize: 80, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			return harmonicContour(rng, n, class, 6, 3, 0.15)
+		},
+	}
+}
+
+// OSULeaf mirrors its namesake with six species, stronger serration
+// (higher harmonics) and more per-instance variation.
+func OSULeaf() Generator {
+	const n = 160
+	return Generator{
+		Spec: Spec{Name: "SynOSULeaf", Classes: 6, TrainSize: 60, TestSize: 90, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := harmonicContour(rng, n, class+100, 9, 3, 0.3)
+			return v
+		},
+	}
+}
+
+// MoteStrain mirrors the sensor-reading dataset: a drifting baseline with
+// either a sharp drop-and-recover (class 1) or a broad hump (class 2) at a
+// jittered position, plus strong sensor noise.
+func MoteStrain() Generator {
+	const n = 84
+	return Generator{
+		Spec: Spec{Name: "SynMoteStrain", Classes: 2, TrainSize: 20, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addRampBlock(v, 0, n, 0, rng.NormFloat64()*0.8)
+			pos := 25 + rng.Intn(25)
+			if class == 1 {
+				for i := pos; i < pos+6 && i < n; i++ {
+					v[i] -= 3
+				}
+			} else {
+				addBump(v, float64(pos+3), 9, 2.2)
+			}
+			addNoise(v, rng, 0.4)
+			return v
+		},
+	}
+}
+
+// Lightning2 mirrors the lightning EMP dataset: high-noise series where
+// class 1 carries one dominant damped burst and class 2 a train of smaller
+// bursts at random positions.
+func Lightning2() Generator {
+	const n = 200
+	return Generator{
+		Spec: Spec{Name: "SynLightning2", Classes: 2, TrainSize: 40, TestSize: 60, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			if class == 1 {
+				addDampedBurst(v, 30+rng.Intn(60), 25, 7, 6)
+			} else {
+				k := 3 + rng.Intn(3)
+				for i := 0; i < k; i++ {
+					addDampedBurst(v, 15+rng.Intn(150), 8, 5, 2.5)
+				}
+			}
+			addNoise(v, rng, 0.5)
+			return v
+		},
+	}
+}
+
+// Wafer mirrors the highly imbalanced semiconductor dataset: normal runs
+// are a stereotyped sequence of process plateaus; abnormal runs carry a
+// glitch (spike or level shift) at a random position.
+func Wafer() Generator {
+	const n = 152
+	return Generator{
+		Spec:         Spec{Name: "SynWafer", Classes: 2, TrainSize: 100, TestSize: 200, Length: n},
+		ClassWeights: []float64{9, 1},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addPlateau(v, 10, 50, 5, 3)
+			addPlateau(v, 70, 110, 5, 5)
+			addPlateau(v, 120, 140, 4, 2)
+			if class == 2 {
+				pos := 15 + rng.Intn(120)
+				if rng.Intn(2) == 0 {
+					addBump(v, float64(pos), 2, 4+rng.Float64()*2)
+				} else {
+					for i := pos; i < pos+12 && i < n; i++ {
+						v[i] -= 2.5
+					}
+				}
+			}
+			addNoise(v, rng, 0.2)
+			return v
+		},
+	}
+}
+
+// Beef mirrors the five-class beef spectrogram dataset: shared spectral
+// envelope with class-specific adulterant bands.
+func Beef() Generator {
+	const n = 200
+	centers := []float64{25, 60, 95, 130, 165}
+	return Generator{
+		Spec: Spec{Name: "SynBeef", Classes: 5, TrainSize: 30, TestSize: 30, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			amps := []float64{3, 2.2, 2.8, 2.0, 2.5}
+			amps[class-1] *= 1.6 // each class elevates its own band
+			widths := []float64{8, 9, 7, 10, 8}
+			return spectrum(rng, n, centers, widths, amps, 0.12)
+		},
+	}
+}
+
+// Symbols mirrors the pen-trajectory dataset: smooth low-frequency strokes
+// with class-specific lobe patterns and onset jitter.
+func Symbols() Generator {
+	const n = 128
+	return Generator{
+		Spec: Spec{Name: "SynSymbols", Classes: 6, TrainSize: 25, TestSize: 100, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			shift := rng.NormFloat64() * 3
+			switch class {
+			case 1:
+				addBump(v, 40+shift, 12, 3)
+				addBump(v, 90+shift, 12, -3)
+			case 2:
+				addBump(v, 40+shift, 12, -3)
+				addBump(v, 90+shift, 12, 3)
+			case 3:
+				addBump(v, 64+shift, 20, 3.5)
+			case 4:
+				addBump(v, 64+shift, 20, -3.5)
+			case 5:
+				addBump(v, 30+shift, 8, 2.5)
+				addBump(v, 64+shift, 8, 2.5)
+				addBump(v, 98+shift, 8, 2.5)
+			case 6:
+				addBump(v, 45+shift, 10, 2.5)
+				addBump(v, 85+shift, 10, 2.5)
+			}
+			addNoise(v, rng, 0.2)
+			return smooth(v, 2)
+		},
+	}
+}

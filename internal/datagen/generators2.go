@@ -1,0 +1,352 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// suite2 returns the second half of the evaluation suite: stand-ins for
+// the remaining UCR datasets of the paper's Table 1 that the first file
+// does not cover. Same design rules: class-conditional structure, seeded
+// determinism, scaled sizes.
+func suite2() []Generator {
+	return []Generator{
+		Adiac(),
+		FacesUCR(),
+		Fish(),
+		Haptics(),
+		InlineSkate(),
+		MALLAT(),
+		MedicalImages(),
+		SonyAIBO(),
+		WordsSynonyms(),
+		Yoga(),
+		ChlorineConcentration(),
+		DiatomSizeReduction(),
+		Lightning7(),
+		CinCECGTorso(),
+	}
+}
+
+// Adiac mirrors the diatom-outline dataset: many visually close classes
+// built from harmonic contours with small class-specific coefficient
+// differences (scaled from 37 classes to 12).
+func Adiac() Generator {
+	const n = 176
+	return Generator{
+		Spec: Spec{Name: "SynAdiac", Classes: 12, TrainSize: 96, TestSize: 144, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := harmonicContour(rng, n, class+300, 7, 2.2, 0.0)
+			v = warp(v, rng, 1.0)
+			addNoise(v, rng, 0.15)
+			return v
+		},
+	}
+}
+
+// FacesUCR mirrors the face-outline dataset with eight subjects: shared
+// head profile plus subject-specific local features, with onset jitter.
+func FacesUCR() Generator {
+	const n = 131
+	return Generator{
+		Spec: Spec{Name: "SynFacesUCR", Classes: 8, TrainSize: 80, TestSize: 160, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addSine(v, n, 2, 0.2)
+			clsRng := rand.New(rand.NewSource(int64(class) * 104729))
+			jitter := rng.NormFloat64() * 2
+			for k := 0; k < 3; k++ {
+				pos := 15 + clsRng.Float64()*100
+				amp := 1.2 + clsRng.Float64()*1.6
+				if clsRng.Intn(2) == 0 {
+					amp = -amp
+				}
+				addBump(v, pos+jitter, 4+clsRng.Float64()*3, amp)
+			}
+			v = warp(v, rng, 0.9)
+			addNoise(v, rng, 0.35)
+			return smooth(v, 1)
+		},
+	}
+}
+
+// Fish mirrors the fish-contour dataset: seven species of smooth closed
+// contours with medium inter-class separation.
+func Fish() Generator {
+	const n = 160
+	return Generator{
+		Spec: Spec{Name: "SynFish", Classes: 7, TrainSize: 70, TestSize: 105, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := harmonicContour(rng, n, class+500, 5, 2.5, 0.0)
+			v = warp(v, rng, 0.9)
+			addNoise(v, rng, 0.2)
+			return v
+		},
+	}
+}
+
+// Haptics mirrors the passgraph-gesture dataset: long, smooth, very noisy
+// trajectories where classes overlap heavily — one of the hardest UCR
+// datasets for every method.
+func Haptics() Generator {
+	const n = 220
+	return Generator{
+		Spec: Spec{Name: "SynHaptics", Classes: 5, TrainSize: 50, TestSize: 75, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := harmonicContour(rng, n, class+700, 3, 1.2, 0.0)
+			// heavy instance-specific drift drowns much of the class signal
+			drift := make([]float64, n)
+			for i := 1; i < n; i++ {
+				drift[i] = drift[i-1] + rng.NormFloat64()*0.08
+			}
+			for i := range v {
+				v[i] += drift[i]
+			}
+			v = warp(v, rng, 1.3)
+			addNoise(v, rng, 0.45)
+			return smooth(v, 3)
+		},
+	}
+}
+
+// InlineSkate mirrors its namesake: long series whose classes differ in a
+// low-frequency stride signature buried in drift.
+func InlineSkate() Generator {
+	const n = 300
+	return Generator{
+		Spec: Spec{Name: "SynInlineSkate", Classes: 6, TrainSize: 60, TestSize: 90, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			period := 40 + float64(class)*7
+			addSine(v, period, 1.8, rng.Float64()*2*math.Pi)
+			addSine(v, period/2, 0.5, rng.Float64()*2*math.Pi)
+			drift := make([]float64, n)
+			for i := 1; i < n; i++ {
+				drift[i] = drift[i-1] + rng.NormFloat64()*0.05
+			}
+			for i := range v {
+				v[i] += drift[i]
+			}
+			v = warp(v, rng, 1.1)
+			addNoise(v, rng, 0.45)
+			return v
+		},
+	}
+}
+
+// MALLAT mirrors the wavelet-test dataset: a piecewise-smooth base signal
+// with class-specific singularity placements; classes are well separated
+// (the archive version is very easy).
+func MALLAT() Generator {
+	const n = 256
+	return Generator{
+		Spec: Spec{Name: "SynMALLAT", Classes: 8, TrainSize: 56, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addSine(v, n, 3, 0.4)
+			clsRng := rand.New(rand.NewSource(int64(class) * 1299709))
+			for k := 0; k < 2; k++ {
+				pos := 30 + clsRng.Float64()*190
+				sign := 1.0
+				if clsRng.Intn(2) == 0 {
+					sign = -1
+				}
+				// a sharp singularity: one-sided exponential kink
+				for i := int(pos); i < int(pos)+18 && i < n; i++ {
+					v[i] += sign * 2.5 * math.Exp(-float64(i-int(pos))/5)
+				}
+			}
+			v = warp(v, rng, 0.45)
+			addNoise(v, rng, 0.25)
+			return v
+		},
+	}
+}
+
+// MedicalImages mirrors its namesake: ten imbalanced classes of pixel-
+// density histograms, several of which are only subtly different.
+func MedicalImages() Generator {
+	const n = 99
+	return Generator{
+		Spec:         Spec{Name: "SynMedicalImages", Classes: 10, TrainSize: 100, TestSize: 150, Length: n},
+		ClassWeights: []float64{5, 4, 3, 2, 2, 1, 1, 1, 1, 1},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			clsRng := rand.New(rand.NewSource(int64(class) * 15485863))
+			modes := 1 + clsRng.Intn(3)
+			for k := 0; k < modes; k++ {
+				pos := 10 + clsRng.Float64()*80
+				addBump(v, pos+rng.NormFloat64()*2, 5+clsRng.Float64()*6, 1.5+clsRng.Float64()*2)
+			}
+			v = warp(v, rng, 0.9)
+			addNoise(v, rng, 0.4)
+			return v
+		},
+	}
+}
+
+// SonyAIBO mirrors the robot-surface dataset: short accelerometer windows
+// where the two surfaces (carpet vs cement) differ in vibration frequency
+// and amplitude.
+func SonyAIBO() Generator {
+	const n = 70
+	return Generator{
+		Spec: Spec{Name: "SynSonyAIBO", Classes: 2, TrainSize: 20, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			if class == 1 { // carpet: low-frequency, damped
+				addSine(v, 14+rng.Float64()*9, 1.2, rng.Float64()*2*math.Pi)
+			} else { // cement: high-frequency rattle
+				addSine(v, 5+rng.Float64()*5, 1.0, rng.Float64()*2*math.Pi)
+				addSine(v, 9, 0.5, rng.Float64()*2*math.Pi)
+			}
+			addNoise(v, rng, 0.7)
+			return v
+		},
+	}
+}
+
+// WordsSynonyms mirrors the word-profile dataset: many classes of
+// pen-stroke profiles with within-class variation (synonym merging makes
+// classes broad and overlapping).
+func WordsSynonyms() Generator {
+	const n = 135
+	return Generator{
+		Spec: Spec{Name: "SynWordsSynonyms", Classes: 12, TrainSize: 96, TestSize: 144, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := harmonicContour(rng, n, class+900, 6, 2.8, 0.1)
+			// synonym effect: occasional within-class shape variant
+			if rng.Intn(4) == 0 {
+				addBump(v, 30+rng.Float64()*70, 8, 1.2)
+			}
+			v = warp(v, rng, 1.1)
+			addNoise(v, rng, 0.2)
+			return v
+		},
+	}
+}
+
+// Yoga mirrors its namesake: two classes of body-outline profiles that
+// differ only in a localized region (the pose difference), with large
+// shared structure.
+func Yoga() Generator {
+	const n = 250
+	return Generator{
+		Spec: Spec{Name: "SynYoga", Classes: 2, TrainSize: 60, TestSize: 180, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addSine(v, n, 2.5, 0.1)
+			addSine(v, float64(n)/3, 0.8, 1.0)
+			pos := 140 + rng.NormFloat64()*6
+			if class == 1 {
+				addBump(v, pos, 10, 1.6)
+			} else {
+				addBump(v, pos, 10, 0.7)
+				addBump(v, pos+30, 7, 1.1)
+			}
+			v = warp(v, rng, 0.7)
+			addNoise(v, rng, 0.35)
+			return smooth(v, 2)
+		},
+	}
+}
+
+// ChlorineConcentration mirrors the water-network dataset: three
+// concentration regimes with shared daily periodicity; classes differ in
+// level pattern rather than local shape, favoring global methods.
+func ChlorineConcentration() Generator {
+	const n = 166
+	return Generator{
+		Spec: Spec{Name: "SynChlorine", Classes: 3, TrainSize: 90, TestSize: 180, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			addSine(v, 40+rng.Float64()*30, 1.4+rng.Float64(), rng.Float64()*2*math.Pi)
+			switch class {
+			case 1:
+				addRampBlock(v, 0, n, 0.5, 2.0)
+			case 2:
+				addRampBlock(v, 0, n, 2.0, 0.5)
+			case 3:
+				addRampBlock(v, 0, n/2, 0.5, 2.0)
+				addRampBlock(v, n/2, n, 2.0, 0.5)
+			}
+			v = warp(v, rng, 0.8)
+			addNoise(v, rng, 0.55)
+			return v
+		},
+	}
+}
+
+// DiatomSizeReduction mirrors its namesake: four diatom generations whose
+// contours shrink; tiny training set, highly separable.
+func DiatomSizeReduction() Generator {
+	const n = 170
+	return Generator{
+		Spec: Spec{Name: "SynDiatom", Classes: 4, TrainSize: 16, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			// generations differ in the RATIO of the two harmonics, not
+			// in absolute scale (z-normalization would erase pure scale)
+			ratio := 0.2 + 0.3*float64(class-1)
+			addSine(v, float64(n)/2, 2, 0.2)
+			addSine(v, float64(n)/5, 2*ratio, 1.1)
+			addNoise(v, rng, 0.08)
+			return v
+		},
+	}
+}
+
+// Lightning7 mirrors the seven-class lightning EMP dataset: burst trains
+// whose class is defined by burst count, decay and spacing; noisy and
+// hard.
+func Lightning7() Generator {
+	const n = 200
+	return Generator{
+		Spec: Spec{Name: "SynLightning7", Classes: 7, TrainSize: 70, TestSize: 73, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			clsRng := rand.New(rand.NewSource(int64(class) * 32452843))
+			bursts := 1 + clsRng.Intn(4)
+			decay := 6 + clsRng.Float64()*24
+			period := 4 + clsRng.Float64()*5
+			amp := 2 + clsRng.Float64()*4
+			for k := 0; k < bursts; k++ {
+				addDampedBurst(v, 15+rng.Intn(150), decay, period, amp)
+			}
+			addNoise(v, rng, 0.5)
+			return v
+		},
+	}
+}
+
+// CinCECGTorso mirrors the torso-ECG dataset: four sensor placements of
+// the same heartbeat, differing in morphology polarity and lead distance.
+func CinCECGTorso() Generator {
+	const n = 250
+	return Generator{
+		Spec: Spec{Name: "SynCinCECG", Classes: 4, TrainSize: 40, TestSize: 120, Length: n},
+		Gen: func(rng *rand.Rand, class int) []float64 {
+			v := make([]float64, n)
+			pos := 60 + rng.Intn(40)
+			fp := float64(pos)
+			switch class {
+			case 1:
+				heartbeat(v, pos, 0, 0.8)
+			case 2: // inverted lead
+				heartbeat(v, pos, 0, 0.8)
+				for i := range v {
+					v[i] = -v[i]
+				}
+			case 3: // distant lead: attenuated, widened
+				addBump(v, fp+21, 6, 1.1)
+				addBump(v, fp+40, 10, 0.4)
+			case 4: // biphasic QRS
+				addBump(v, fp+18, 2.5, 1.6)
+				addBump(v, fp+24, 2.5, -1.6)
+				addBump(v, fp+40, 6, 0.5)
+			}
+			addNoise(v, rng, 0.1)
+			return v
+		},
+	}
+}

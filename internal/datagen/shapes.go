@@ -1,0 +1,155 @@
+// Package datagen synthesizes the evaluation datasets. The UCR archive the
+// paper evaluates on cannot be redistributed and this build is offline, so
+// each archive dataset used in the evaluation has a structurally faithful
+// synthetic stand-in here: class-conditional local patterns embedded at
+// (possibly random) positions in noise, plus globally shaped families where
+// whole-series distance methods shine. The generators are deterministic
+// given a seed. See DESIGN.md §3 for the substitution rationale.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// shape helpers ------------------------------------------------------------
+
+// addNoise adds i.i.d. Gaussian noise of the given standard deviation.
+func addNoise(v []float64, rng *rand.Rand, sd float64) {
+	for i := range v {
+		v[i] += rng.NormFloat64() * sd
+	}
+}
+
+// addBump adds a Gaussian bump centered at c with width sigma and height amp.
+func addBump(v []float64, c, sigma, amp float64) {
+	for i := range v {
+		d := (float64(i) - c) / sigma
+		v[i] += amp * math.Exp(-0.5*d*d)
+	}
+}
+
+// addPlateau adds amp on [from, to) with linear ramps of rampLen on each side.
+func addPlateau(v []float64, from, to, rampLen int, amp float64) {
+	if rampLen < 1 {
+		rampLen = 1
+	}
+	for i := range v {
+		switch {
+		case i < from-rampLen || i >= to+rampLen:
+			// outside
+		case i < from:
+			v[i] += amp * float64(i-(from-rampLen)) / float64(rampLen)
+		case i < to:
+			v[i] += amp
+		default:
+			v[i] += amp * float64(to+rampLen-i) / float64(rampLen)
+		}
+	}
+}
+
+// addRampBlock adds a linear ramp from a0 to a1 over [from, to).
+func addRampBlock(v []float64, from, to int, a0, a1 float64) {
+	if to <= from {
+		return
+	}
+	n := float64(to - from)
+	for i := from; i < to && i < len(v); i++ {
+		if i < 0 {
+			continue
+		}
+		frac := float64(i-from) / n
+		v[i] += a0 + (a1-a0)*frac
+	}
+}
+
+// addSine adds a sine of the given period, amplitude and phase.
+func addSine(v []float64, period, amp, phase float64) {
+	w := 2 * math.Pi / period
+	for i := range v {
+		v[i] += amp * math.Sin(w*float64(i)+phase)
+	}
+}
+
+// addDampedBurst adds an exponentially decaying oscillation starting at
+// pos: amp * exp(-(t-pos)/decay) * sin(w (t-pos)).
+func addDampedBurst(v []float64, pos int, decay, period, amp float64) {
+	w := 2 * math.Pi / period
+	for i := pos; i < len(v); i++ {
+		if i < 0 {
+			continue
+		}
+		t := float64(i - pos)
+		v[i] += amp * math.Exp(-t/decay) * math.Sin(w*t)
+	}
+}
+
+// smooth applies a centered moving average of half-width k.
+func smooth(v []float64, k int) []float64 {
+	if k <= 0 {
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out
+	}
+	out := make([]float64, len(v))
+	for i := range v {
+		lo := i - k
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + k
+		if hi > len(v)-1 {
+			hi = len(v) - 1
+		}
+		var s float64
+		for _, x := range v[lo : hi+1] {
+			s += x
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// uniform returns a uniform draw in [lo, hi).
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// warp applies a smooth random monotone time warping of the given
+// strength (0 = identity; 0.5 = strong): sampling positions drift by a
+// smoothed random walk, so globally aligned methods degrade while local
+// shapes survive. The output has the same length as the input.
+func warp(v []float64, rng *rand.Rand, strength float64) []float64 {
+	n := len(v)
+	if n < 3 || strength <= 0 {
+		out := make([]float64, n)
+		copy(out, v)
+		return out
+	}
+	// positive step sizes with smooth variation -> monotone positions
+	steps := make([]float64, n)
+	walk := 0.0
+	for i := range steps {
+		walk = 0.9*walk + rng.NormFloat64()*strength
+		steps[i] = math.Exp(walk * 0.3)
+	}
+	pos := make([]float64, n)
+	var total float64
+	for i, s := range steps {
+		pos[i] = total
+		total += s
+	}
+	scale := float64(n-1) / pos[n-1]
+	out := make([]float64, n)
+	for i := range out {
+		x := pos[i] * scale
+		j := int(x)
+		if j >= n-1 {
+			out[i] = v[n-1]
+			continue
+		}
+		frac := x - float64(j)
+		out[i] = v[j]*(1-frac) + v[j+1]*frac
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package dataset reads and writes time-series datasets in the UCR archive
+// text format: one instance per line, the class label first, followed by
+// the observations, separated by commas or whitespace. It also bundles a
+// train/test split, the unit every experiment operates on.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"rpm/internal/ts"
+)
+
+// Split is a named dataset with its train/test partition.
+type Split struct {
+	Name  string
+	Train ts.Dataset
+	Test  ts.Dataset
+}
+
+// NumClasses returns the number of distinct labels across both parts.
+func (s Split) NumClasses() int {
+	seen := map[int]bool{}
+	for _, in := range s.Train {
+		seen[in.Label] = true
+	}
+	for _, in := range s.Test {
+		seen[in.Label] = true
+	}
+	return len(seen)
+}
+
+// Length returns the series length of the first training instance (UCR
+// datasets are equal-length; generators guarantee it).
+func (s Split) Length() int {
+	if len(s.Train) == 0 {
+		return 0
+	}
+	return len(s.Train[0].Values)
+}
+
+// Read parses UCR-format instances from r. Labels may be written as
+// floating-point numbers (several UCR files use "1.0000000e+00"); they are
+// rounded to the nearest integer.
+func Read(r io.Reader) (ts.Dataset, error) {
+	var out ts.Dataset
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := splitFields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: need a label and at least one value", lineNo)
+		}
+		lf, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		values := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q: %w", lineNo, f, err)
+			}
+			values[i] = v
+		}
+		out = append(out, ts.Instance{Label: int(math.Round(lf)), Values: values})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return out, nil
+}
+
+// splitFields splits on commas and/or runs of whitespace.
+func splitFields(line string) []string {
+	if strings.ContainsRune(line, ',') {
+		parts := strings.Split(line, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return strings.Fields(line)
+}
+
+// Write renders d to w in UCR format (comma-separated).
+func Write(w io.Writer, d ts.Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, in := range d {
+		if _, err := fmt.Fprintf(bw, "%d", in.Label); err != nil {
+			return err
+		}
+		for _, v := range in.Values {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads one UCR-format file.
+func ReadFile(path string) (ts.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes one UCR-format file.
+func WriteFile(path string, d ts.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSplit loads <dir>/<name>_TRAIN and <dir>/<name>_TEST, the UCR archive
+// layout.
+func ReadSplit(dir, name string) (Split, error) {
+	train, err := ReadFile(dir + "/" + name + "_TRAIN")
+	if err != nil {
+		return Split{}, err
+	}
+	test, err := ReadFile(dir + "/" + name + "_TEST")
+	if err != nil {
+		return Split{}, err
+	}
+	return Split{Name: name, Train: train, Test: test}, nil
+}
+
+// WriteSplit writes s in the UCR archive layout.
+func WriteSplit(dir string, s Split) error {
+	if err := WriteFile(dir+"/"+s.Name+"_TRAIN", s.Train); err != nil {
+		return err
+	}
+	return WriteFile(dir+"/"+s.Name+"_TEST", s.Test)
+}

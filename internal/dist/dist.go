@@ -1,0 +1,377 @@
+// Package dist implements the distance computations used by RPM and the
+// baseline classifiers: Euclidean distance with early abandoning, the
+// closest-match (best subsequence match) distance that drives the
+// pattern-space transformation (paper §2.1, §3.1), dynamic time warping
+// with a Sakoe-Chiba band, and the LB_Keogh lower bound used to prune
+// 1NN-DTW searches.
+package dist
+
+import (
+	"math"
+
+	"rpm/internal/ts"
+)
+
+// Euclidean returns the Euclidean distance between equal-length a and b.
+// It panics on length mismatch.
+func Euclidean(a, b []float64) float64 { return math.Sqrt(SqEuclidean(a, b)) }
+
+// SqEuclidean returns the squared Euclidean distance between equal-length
+// a and b.
+func SqEuclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dist: length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SqEuclideanEarly accumulates the squared Euclidean distance and abandons
+// as soon as the partial sum exceeds limit, returning +Inf in that case
+// (paper §5.3 uses early abandoning to speed up subsequence matching).
+func SqEuclideanEarly(a, b []float64, limit float64) float64 {
+	if len(a) != len(b) {
+		panic("dist: length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+		if s > limit {
+			return math.Inf(1)
+		}
+	}
+	return s
+}
+
+// Match is the result of a closest-match search: the length-normalized
+// distance and the start position of the best-matching window.
+type Match struct {
+	Dist float64
+	Pos  int
+}
+
+// Matcher performs repeated closest-match searches with one fixed pattern.
+// It z-normalizes the pattern once at construction, which matters in the
+// transform stage where every pattern is matched against every instance.
+type Matcher struct {
+	zp []float64
+}
+
+// NewMatcher prepares a matcher for the given pattern (which is copied and
+// z-normalized).
+func NewMatcher(pattern []float64) *Matcher {
+	return &Matcher{zp: ts.ZNorm(pattern)}
+}
+
+// Len returns the pattern length.
+func (m *Matcher) Len() int { return len(m.zp) }
+
+// Best returns the closest match of the pattern in series, with the same
+// semantics as ClosestMatch. If the series is shorter than the pattern the
+// roles are swapped (one-off, using the slower general path).
+func (m *Matcher) Best(series []float64) Match {
+	if len(m.zp) == 0 || len(series) == 0 {
+		return Match{Dist: math.Inf(1), Pos: -1}
+	}
+	if len(m.zp) > len(series) {
+		return ClosestMatch(m.zp, series)
+	}
+	return bestMatchZ(m.zp, series)
+}
+
+// ClosestMatch slides pattern over series and returns the minimal
+// z-normalized, length-normalized Euclidean distance and its position. Each
+// window of series is z-normalized before comparison (the pattern is
+// z-normalized internally as well), so the match is offset- and
+// scale-invariant, as in the shapelet literature. The reported distance is
+// sqrt(squaredED / n) with n = len(pattern), which makes distances
+// comparable across patterns of different lengths — required both by the
+// pattern-space transform and by the similar-pattern removal step, which
+// compares candidates of unequal length (paper Alg. 2 line 9).
+//
+// If the pattern is longer than the series, the roles are swapped: the
+// shorter sequence is always slid over the longer one. An empty pattern or
+// series yields {+Inf, -1}.
+func ClosestMatch(pattern, series []float64) Match {
+	if len(pattern) > len(series) {
+		pattern, series = series, pattern
+	}
+	if len(pattern) == 0 || len(series) == 0 {
+		return Match{Dist: math.Inf(1), Pos: -1}
+	}
+	return bestMatchZ(ts.ZNorm(pattern), series)
+}
+
+// bestMatchZ is the closest-match core: zp is already z-normalized and no
+// longer than series.
+func bestMatchZ(zp, series []float64) Match {
+	n := len(zp)
+	best := math.Inf(1)
+	bestPos := -1
+	// Running sums for O(1) per-window mean/std.
+	var sum, sumsq float64
+	for _, x := range series[:n] {
+		sum += x
+		sumsq += x * x
+	}
+	fn := float64(n)
+	for i := 0; ; i++ {
+		mean := sum / fn
+		variance := sumsq/fn - mean*mean
+		var d float64
+		if variance < ts.ZNormThreshold*ts.ZNormThreshold {
+			// constant window: z-norm is the zero vector
+			d = 0
+			for _, x := range zp {
+				d += x * x
+				if d > best {
+					d = math.Inf(1)
+					break
+				}
+			}
+		} else {
+			inv := 1 / math.Sqrt(variance)
+			d = 0
+			w := series[i : i+n]
+			for j, x := range w {
+				diff := (x-mean)*inv - zp[j]
+				d += diff * diff
+				if d > best {
+					d = math.Inf(1)
+					break
+				}
+			}
+		}
+		if d < best {
+			best = d
+			bestPos = i
+		}
+		if i+n >= len(series) {
+			break
+		}
+		out := series[i]
+		in := series[i+n]
+		sum += in - out
+		sumsq += in*in - out*out
+	}
+	return Match{Dist: math.Sqrt(best / fn), Pos: bestPos}
+}
+
+// ClosestMatchRaw is ClosestMatch without per-window z-normalization: the
+// pattern and the windows are compared as-is. Used where the caller has
+// already normalized the data or wants amplitude sensitivity.
+func ClosestMatchRaw(pattern, series []float64) Match {
+	n := len(pattern)
+	if n == 0 || n > len(series) {
+		return Match{Dist: math.Inf(1), Pos: -1}
+	}
+	best := math.Inf(1)
+	bestPos := -1
+	for i := 0; i+n <= len(series); i++ {
+		d := SqEuclideanEarly(pattern, series[i:i+n], best)
+		if d < best {
+			best = d
+			bestPos = i
+		}
+	}
+	return Match{Dist: math.Sqrt(best / float64(n)), Pos: bestPos}
+}
+
+// DTW returns the dynamic-time-warping distance between a and b constrained
+// to a Sakoe-Chiba band of half-width window (window < 0 means
+// unconstrained). The returned value is the square root of the summed
+// squared point costs, matching the convention under which DTW with
+// window 0 equals the Euclidean distance for equal-length inputs.
+func DTW(a, b []float64, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	w := window
+	if w < 0 || w > max(n, m) {
+		w = max(n, m)
+	}
+	// band must be at least |n-m| wide for a path to exist
+	if d := n - m; d < 0 {
+		if -d > w {
+			w = -d
+		}
+	} else if d > w {
+		w = d
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - w
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + w
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			c := d * d
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[m])
+}
+
+// DTWEarly is DTW with row-wise early abandoning: if every cell of a row
+// exceeds limit² the computation stops and +Inf is returned. limit is
+// expressed in the same (root) units as DTW's return value.
+func DTWEarly(a, b []float64, window int, limit float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	sqLimit := limit * limit
+	w := window
+	if w < 0 || w > max(n, m) {
+		w = max(n, m)
+	}
+	if d := n - m; d < 0 {
+		if -d > w {
+			w = -d
+		}
+	} else if d > w {
+		w = d
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - w
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + w
+		if hi > m {
+			hi = m
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			c := d * d
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = c + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > sqLimit {
+			return math.Inf(1)
+		}
+		prev, cur = cur, prev
+	}
+	if prev[m] > sqLimit {
+		return math.Inf(1)
+	}
+	return math.Sqrt(prev[m])
+}
+
+// Envelope computes the upper and lower DTW envelopes of v for a
+// Sakoe-Chiba half-width w: upper[i] = max(v[i-w..i+w]), lower[i] =
+// min(v[i-w..i+w]).
+func Envelope(v []float64, w int) (upper, lower []float64) {
+	n := len(v)
+	upper = make([]float64, n)
+	lower = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i - w
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + w
+		if hi > n-1 {
+			hi = n - 1
+		}
+		u, l := v[lo], v[lo]
+		for _, x := range v[lo+1 : hi+1] {
+			if x > u {
+				u = x
+			}
+			if x < l {
+				l = x
+			}
+		}
+		upper[i] = u
+		lower[i] = l
+	}
+	return upper, lower
+}
+
+// LBKeogh returns the LB_Keogh lower bound between query q and a candidate
+// whose envelopes (upper, lower) were computed with the same band width.
+// The bound is returned in root units: LBKeogh(q, U, L) <= DTW(q, c, w).
+// Early abandoning against limit (root units) returns +Inf.
+func LBKeogh(q, upper, lower []float64, limit float64) float64 {
+	if len(q) != len(upper) || len(q) != len(lower) {
+		panic("dist: LBKeogh length mismatch")
+	}
+	sqLimit := limit * limit
+	var s float64
+	for i, x := range q {
+		switch {
+		case x > upper[i]:
+			d := x - upper[i]
+			s += d * d
+		case x < lower[i]:
+			d := x - lower[i]
+			s += d * d
+		}
+		if s > sqLimit {
+			return math.Inf(1)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rpm/internal/core"
+	"rpm/internal/datagen"
+	"rpm/internal/sax"
+	"rpm/internal/stats"
+)
+
+// AblationResult is one RPM variant's outcome on one dataset.
+type AblationResult struct {
+	Dataset string
+	Variant string
+	Err     float64
+	Time    time.Duration
+	// Patterns is the number of representative patterns selected.
+	Patterns int
+}
+
+// AblationVariant names one configuration knob setting.
+type AblationVariant struct {
+	Name   string
+	Mutate func(*core.Options)
+}
+
+// AblationVariants returns the design-choice sweep DESIGN.md calls out:
+// the paper's defaults against each single-knob change.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "default", Mutate: func(o *core.Options) {}},
+		{Name: "no-numerosity", Mutate: func(o *core.Options) { o.NumerosityReduction = false }},
+		{Name: "medoid", Mutate: func(o *core.Options) { o.UseMedoid = true }},
+		{Name: "repair-gi", Mutate: func(o *core.Options) { o.GI = core.GIRePair }},
+		{Name: "rot-invariant", Mutate: func(o *core.Options) { o.RotationInvariant = true }},
+		{Name: "gamma-0.1", Mutate: func(o *core.Options) { o.Gamma = 0.1 }},
+		{Name: "gamma-0.4", Mutate: func(o *core.Options) { o.Gamma = 0.4 }},
+		{Name: "grid-search", Mutate: func(o *core.Options) { o.Mode = core.ParamGrid }},
+		{Name: "fixed-params", Mutate: func(o *core.Options) { o.Mode = core.ParamFixed }},
+	}
+}
+
+// RunAblation evaluates every variant on the configured datasets.
+func RunAblation(cfg Config, progress func(string)) ([]AblationResult, error) {
+	cfg = cfg.withDefaults()
+	var out []AblationResult
+	for _, name := range cfg.Datasets {
+		g, ok := datagen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		}
+		split := g.Generate(cfg.Seed)
+		for _, v := range AblationVariants() {
+			o := rpmOptions(cfg)
+			if o.Mode == core.ParamFixed {
+				o.Params = sax.Params{} // heuristic defaults
+			}
+			v.Mutate(&o)
+			start := time.Now()
+			clf, err := core.Train(split.Train, o)
+			if err != nil {
+				return nil, fmt.Errorf("variant %s on %s: %w", v.Name, name, err)
+			}
+			preds := clf.PredictBatch(split.Test)
+			out = append(out, AblationResult{
+				Dataset:  name,
+				Variant:  v.Name,
+				Err:      stats.ErrorRate(preds, split.Test.Labels()),
+				Time:     time.Since(start),
+				Patterns: clf.NumPatterns(),
+			})
+			if progress != nil {
+				progress(fmt.Sprintf("ablation %-14s %-14s err=%.3f", name, v.Name, out[len(out)-1].Err))
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatAblation renders the ablation study grouped by dataset.
+func FormatAblation(results []AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation study: RPM design choices (error / seconds / #patterns)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tVariant\tError\tTime (s)\t#Patterns\n")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%d\n", r.Dataset, r.Variant, r.Err, r.Time.Seconds(), r.Patterns)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,264 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–§6) on the synthetic dataset suite: Table 1
+// (classification error of six methods), Table 2 (running time of LS, FS
+// and RPM), Table 3 / Figure 9 (sensitivity to the similarity threshold
+// τ), Table 4 (error on rotated test data), Figures 7 and 8 (pairwise
+// comparison scatters with Wilcoxon p-values), and the §6.2 medical-alarm
+// case study. cmd/benchtab is the command-line front end; bench_test.go
+// exposes the same runs as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rpm/internal/bop"
+	"rpm/internal/core"
+	"rpm/internal/datagen"
+	"rpm/internal/dataset"
+	"rpm/internal/fastshapelets"
+	"rpm/internal/learnshapelets"
+	"rpm/internal/nn"
+	"rpm/internal/saxvsm"
+	"rpm/internal/shapelettransform"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+// Method names, in the paper's column order. MethodST (Shapelet
+// Transform) is an extension not present in the paper's tables; request it
+// explicitly via Config.Methods.
+const (
+	MethodNNED   = "NN-ED"
+	MethodNNDTWB = "NN-DTWB"
+	MethodSAXVSM = "SAX-VSM"
+	MethodFS     = "FS"
+	MethodLS     = "LS"
+	MethodRPM    = "RPM"
+	MethodST     = "ST"
+	MethodBOP    = "BOP"
+)
+
+// AllMethods is the paper's Table 1 column order.
+func AllMethods() []string {
+	return []string{MethodNNED, MethodNNDTWB, MethodSAXVSM, MethodFS, MethodLS, MethodRPM}
+}
+
+// predictor is the minimal classifier interface the harness drives.
+type predictor interface {
+	Predict(values []float64) int
+}
+
+// MethodResult is one classifier's outcome on one dataset.
+type MethodResult struct {
+	Err          float64
+	TrainTime    time.Duration
+	ClassifyTime time.Duration
+}
+
+// Total returns train + classify time.
+func (r MethodResult) Total() time.Duration { return r.TrainTime + r.ClassifyTime }
+
+// DatasetResult bundles every method's result on one dataset.
+type DatasetResult struct {
+	Name    string
+	Results map[string]MethodResult
+}
+
+// Config tunes the harness.
+type Config struct {
+	// Seed drives data generation and every stochastic component.
+	Seed int64
+	// Quick shrinks the RPM parameter search (fewer splits and
+	// evaluations) for fast benchmark iterations.
+	Quick bool
+	// Methods restricts which classifiers run (default AllMethods()).
+	Methods []string
+	// Datasets restricts which suite datasets run (default all).
+	Datasets []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = AllMethods()
+	}
+	if len(c.Datasets) == 0 {
+		for _, g := range datagen.Suite() {
+			c.Datasets = append(c.Datasets, g.Name)
+		}
+	}
+	return c
+}
+
+// rpmOptions returns the RPM configuration used throughout the harness.
+func rpmOptions(cfg Config) core.Options {
+	o := core.DefaultOptions()
+	o.Seed = cfg.Seed
+	if cfg.Quick {
+		o.Splits = 2
+		o.MaxEvals = 16
+	} else {
+		o.Splits = 3
+		o.MaxEvals = 40
+	}
+	return o
+}
+
+// TrainMethod trains one named classifier and returns it with the elapsed
+// training time.
+func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Duration, error) {
+	start := time.Now()
+	var p predictor
+	var err error
+	switch name {
+	case MethodNNED:
+		p = nn.NewED(train)
+	case MethodNNDTWB:
+		p = nn.NewDTWBest(train)
+	case MethodSAXVSM:
+		p = saxvsm.TrainAuto(train, cfg.Seed)
+	case MethodFS:
+		p = fastshapelets.Train(train, fastshapelets.Config{Seed: cfg.Seed})
+	case MethodLS:
+		lsCfg := learnshapelets.Config{Seed: cfg.Seed}
+		if cfg.Quick {
+			lsCfg.Epochs = 100
+		}
+		p = learnshapelets.Train(train, lsCfg)
+	case MethodRPM:
+		p, err = core.Train(train, rpmOptions(cfg))
+	case MethodST:
+		p = shapelettransform.Train(train, shapelettransform.Config{Seed: cfg.Seed})
+	case MethodBOP:
+		p = bop.Train(train, saxvsm.SelectParams(train, cfg.Seed))
+	default:
+		err = fmt.Errorf("experiments: unknown method %q", name)
+	}
+	return p, time.Since(start), err
+}
+
+// RunDataset evaluates the configured methods on one dataset split.
+func RunDataset(split dataset.Split, cfg Config) (DatasetResult, error) {
+	cfg = cfg.withDefaults()
+	res := DatasetResult{Name: split.Name, Results: map[string]MethodResult{}}
+	for _, m := range cfg.Methods {
+		p, trainDur, err := TrainMethod(m, split.Train, cfg)
+		if err != nil {
+			return res, fmt.Errorf("%s on %s: %w", m, split.Name, err)
+		}
+		start := time.Now()
+		preds := make([]int, len(split.Test))
+		for i, in := range split.Test {
+			preds[i] = p.Predict(in.Values)
+		}
+		classifyDur := time.Since(start)
+		res.Results[m] = MethodResult{
+			Err:          stats.ErrorRate(preds, split.Test.Labels()),
+			TrainTime:    trainDur,
+			ClassifyTime: classifyDur,
+		}
+	}
+	return res, nil
+}
+
+// RunSuite evaluates the configured methods on every configured dataset.
+// progress, if non-nil, receives one line per completed dataset.
+func RunSuite(cfg Config, progress func(string)) ([]DatasetResult, error) {
+	cfg = cfg.withDefaults()
+	var out []DatasetResult
+	for _, name := range cfg.Datasets {
+		g, ok := datagen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		}
+		split := g.Generate(cfg.Seed)
+		res, err := RunDataset(split, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(fmt.Sprintf("done %-18s %s", name, summarize(res, cfg.Methods)))
+		}
+	}
+	return out, nil
+}
+
+func summarize(res DatasetResult, methods []string) string {
+	s := ""
+	for _, m := range methods {
+		r, ok := res.Results[m]
+		if !ok {
+			continue
+		}
+		s += fmt.Sprintf("%s=%.3f ", m, r.Err)
+	}
+	return s
+}
+
+// BestCounts returns, per method, in how many datasets it achieved the
+// lowest error (ties included), the "# of best" row of Table 1.
+func BestCounts(results []DatasetResult, methods []string, metric func(MethodResult) float64) map[string]int {
+	counts := map[string]int{}
+	for _, dr := range results {
+		best := bestValue(dr, methods, metric)
+		for _, m := range methods {
+			if r, ok := dr.Results[m]; ok && metric(r) <= best+1e-12 {
+				counts[m]++
+			}
+		}
+	}
+	return counts
+}
+
+func bestValue(dr DatasetResult, methods []string, metric func(MethodResult) float64) float64 {
+	best := -1.0
+	for _, m := range methods {
+		if r, ok := dr.Results[m]; ok {
+			v := metric(r)
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// ErrMetric and TimeMetric are the metrics Tables 1 and 2 rank by.
+func ErrMetric(r MethodResult) float64  { return r.Err }
+func TimeMetric(r MethodResult) float64 { return r.Total().Seconds() }
+
+// PairedErrors extracts the aligned per-dataset error vectors of two
+// methods, for Wilcoxon tests and scatter plots.
+func PairedErrors(results []DatasetResult, a, b string) (va, vb []float64, names []string) {
+	for _, dr := range results {
+		ra, oka := dr.Results[a]
+		rb, okb := dr.Results[b]
+		if oka && okb {
+			va = append(va, ra.Err)
+			vb = append(vb, rb.Err)
+			names = append(names, dr.Name)
+		}
+	}
+	return va, vb, names
+}
+
+// Wilcoxon runs the signed-rank test on two methods' per-dataset errors.
+func Wilcoxon(results []DatasetResult, a, b string) float64 {
+	va, vb, _ := PairedErrors(results, a, b)
+	return stats.WilcoxonSignedRank(va, vb)
+}
+
+// SortedDatasetNames returns the result names in deterministic order.
+func SortedDatasetNames(results []DatasetResult) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rpm/internal/core"
+	"rpm/internal/datagen"
+	"rpm/internal/dataset"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+// RotationDatasets are the shape-like datasets used in the paper's
+// rotation case study (Table 4).
+func RotationDatasets() []string {
+	return []string{"SynCoffee", "SynFaceFour", "SynGunPoint", "SynSwedishLeaf", "SynOSULeaf"}
+}
+
+// RotationMethods are the Table 4 columns.
+func RotationMethods() []string {
+	return []string{MethodNNED, MethodNNDTWB, MethodSAXVSM, MethodLS, MethodRPM}
+}
+
+// RotateDataset returns a copy of d with every series circularly shifted
+// at an independent random cut point (paper §6.1: training data stays
+// unmodified, only test data is distorted).
+func RotateDataset(d ts.Dataset, rng *rand.Rand) ts.Dataset {
+	out := d.Clone()
+	for i := range out {
+		n := len(out[i].Values)
+		if n < 2 {
+			continue
+		}
+		out[i].Values = ts.Rotate(out[i].Values, 1+rng.Intn(n-1))
+	}
+	return out
+}
+
+// RunTable4 reproduces the rotation study: train on unmodified data,
+// classify rotated test data; RPM runs with its rotation-invariant
+// transform enabled.
+func RunTable4(cfg Config, progress func(string)) ([]DatasetResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var out []DatasetResult
+	for _, name := range RotationDatasets() {
+		g, ok := datagen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		}
+		split := g.Generate(cfg.Seed)
+		rotated := dataset.Split{Name: split.Name, Train: split.Train, Test: RotateDataset(split.Test, rng)}
+		res := DatasetResult{Name: name, Results: map[string]MethodResult{}}
+		for _, m := range RotationMethods() {
+			var p predictor
+			var trainDur time.Duration
+			var err error
+			if m == MethodRPM {
+				o := rpmOptions(cfg)
+				o.RotationInvariant = true
+				start := time.Now()
+				p, err = core.Train(rotated.Train, o)
+				trainDur = time.Since(start)
+			} else {
+				p, trainDur, err = TrainMethod(m, rotated.Train, cfg)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s on rotated %s: %w", m, name, err)
+			}
+			start := time.Now()
+			preds := make([]int, len(rotated.Test))
+			for i, in := range rotated.Test {
+				preds[i] = p.Predict(in.Values)
+			}
+			res.Results[m] = MethodResult{
+				Err:          stats.ErrorRate(preds, rotated.Test.Labels()),
+				TrainTime:    trainDur,
+				ClassifyTime: time.Since(start),
+			}
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(fmt.Sprintf("rotation done %-18s %s", name, summarize(res, RotationMethods())))
+		}
+	}
+	return out, nil
+}
+
+// FormatTable4 renders the paper's Table 4: error on shifted test data.
+func FormatTable4(results []DatasetResult) string {
+	methods := RotationMethods()
+	var b strings.Builder
+	b.WriteString("Table 4: classification error on rotated (shifted) test data\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, dr := range results {
+		best := bestValue(dr, methods, ErrMetric)
+		fmt.Fprintf(w, "%s", dr.Name)
+		for _, m := range methods {
+			r, ok := dr.Results[m]
+			if !ok {
+				fmt.Fprintf(w, "\t-")
+				continue
+			}
+			mark := ""
+			if r.Err <= best+1e-12 {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "\t%.3f%s", r.Err, mark)
+		}
+		fmt.Fprintln(w)
+	}
+	counts := BestCounts(results, methods, ErrMetric)
+	fmt.Fprintf(w, "# best (incl. ties)")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%d", counts[m])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	return b.String()
+}
+
+// RunAlarmCase reproduces the §6.2 medical-alarm case study on the
+// synthetic arterial-blood-pressure data: normal vs alarm-triggering
+// waveform segments.
+func RunAlarmCase(cfg Config) (DatasetResult, error) {
+	cfg = cfg.withDefaults()
+	split := datagen.ABP().Generate(cfg.Seed)
+	return RunDataset(split, cfg)
+}
+
+// FormatAlarmCase renders the case-study outcome.
+func FormatAlarmCase(res DatasetResult, methods []string) string {
+	var b strings.Builder
+	b.WriteString("Case study (§6.2): ICU arterial-blood-pressure alarm classification\n")
+	b.WriteString("(synthetic ABP beat trains: normal vs hypotension/damped-artifact alarms)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Method\tError\tAccuracy\tTotal time (s)\n")
+	for _, m := range methods {
+		r, ok := res.Results[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.2f\n", m, r.Err, 1-r.Err, r.Total().Seconds())
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fakeResults() []DatasetResult {
+	return []DatasetResult{
+		{Name: "a", Results: map[string]MethodResult{
+			MethodNNED: {Err: 0.3, TrainTime: time.Second},
+			MethodLS:   {Err: 0.1, TrainTime: 4 * time.Second},
+			MethodFS:   {Err: 0.2, TrainTime: time.Second / 2},
+			MethodRPM:  {Err: 0.05, TrainTime: 2 * time.Second},
+		}},
+		{Name: "b", Results: map[string]MethodResult{
+			MethodNNED: {Err: 0.4, TrainTime: time.Second},
+			MethodLS:   {Err: 0.3, TrainTime: 6 * time.Second},
+			MethodFS:   {Err: 0.25, TrainTime: time.Second},
+			MethodRPM:  {Err: 0.2, TrainTime: 3 * time.Second},
+		}},
+		{Name: "c", Results: map[string]MethodResult{
+			MethodNNED: {Err: 0.1, TrainTime: time.Second},
+			MethodLS:   {Err: 0.15, TrainTime: 5 * time.Second},
+			MethodFS:   {Err: 0.3, TrainTime: time.Second},
+			MethodRPM:  {Err: 0.1, TrainTime: time.Second},
+		}},
+	}
+}
+
+func TestWriteFig7SVG(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteFig7SVG(dir, fakeResults(), []string{MethodNNED, MethodRPM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	content, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "<svg") || !strings.Contains(string(content), "circle") {
+		t.Error("fig7 SVG malformed")
+	}
+}
+
+func TestWriteFig8SVG(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteFig8SVG(dir, fakeResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing %s", p)
+		}
+	}
+}
+
+func TestWriteFig9SVG(t *testing.T) {
+	dir := t.TempDir()
+	sweep := []TauSeries{{
+		Dataset: "x",
+		Points: []TauPoint{
+			{Percentile: 10, Err: 0.1, Time: time.Second},
+			{Percentile: 30, Err: 0.12, Time: 800 * time.Millisecond},
+			{Percentile: 50, Err: 0.12, Time: 700 * time.Millisecond},
+		},
+	}}
+	paths, err := WriteFig9SVG(dir, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	want := map[string]bool{"fig9_time.svg": true, "fig9_error.svg": true}
+	for _, p := range paths {
+		if !want[filepath.Base(p)] {
+			t.Errorf("unexpected file %s", p)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("NN-ED/2"); got != "NN_ED_2" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatTable1 renders the paper's Table 1: per-dataset classification
+// error rates for every method, the per-dataset winner in context, the
+// "# of best" row, and the Wilcoxon p-values RPM vs. each rival.
+func FormatTable1(results []DatasetResult, methods []string) string {
+	var b strings.Builder
+	b.WriteString("Table 1: classification error rates (synthetic UCR-style suite)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, dr := range results {
+		best := bestValue(dr, methods, ErrMetric)
+		fmt.Fprintf(w, "%s", dr.Name)
+		for _, m := range methods {
+			r, ok := dr.Results[m]
+			if !ok {
+				fmt.Fprintf(w, "\t-")
+				continue
+			}
+			mark := ""
+			if r.Err <= best+1e-12 {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "\t%.3f%s", r.Err, mark)
+		}
+		fmt.Fprintln(w)
+	}
+	counts := BestCounts(results, methods, ErrMetric)
+	fmt.Fprintf(w, "# of best (incl. ties)")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%d", counts[m])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	b.WriteString("\nWilcoxon signed-rank p-values (RPM vs rival):\n")
+	for _, m := range methods {
+		if m == MethodRPM {
+			continue
+		}
+		b.WriteString(fmt.Sprintf("  RPM vs %-8s p = %.4f\n", m, Wilcoxon(results, MethodRPM, m)))
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the paper's Table 2: total running time
+// (train + classify) of the three pattern-learning methods, plus the
+// "# best" row and the speedup statistics quoted in §5.3.
+func FormatTable2(results []DatasetResult) string {
+	methods := []string{MethodLS, MethodFS, MethodRPM}
+	var b strings.Builder
+	b.WriteString("Table 2: running time in seconds (train + classify)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	var speedups []float64
+	for _, dr := range results {
+		best := bestValue(dr, methods, TimeMetric)
+		fmt.Fprintf(w, "%s", dr.Name)
+		for _, m := range methods {
+			r, ok := dr.Results[m]
+			if !ok {
+				fmt.Fprintf(w, "\t-")
+				continue
+			}
+			mark := ""
+			if TimeMetric(r) <= best+1e-12 {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "\t%.2f%s", TimeMetric(r), mark)
+		}
+		fmt.Fprintln(w)
+		ls, okLS := dr.Results[MethodLS]
+		rpm, okRPM := dr.Results[MethodRPM]
+		if okLS && okRPM && rpm.Total() > 0 {
+			speedups = append(speedups, ls.Total().Seconds()/rpm.Total().Seconds())
+		}
+	}
+	counts := BestCounts(results, methods, TimeMetric)
+	fmt.Fprintf(w, "# best (incl. ties)")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%d", counts[m])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	if len(speedups) > 0 {
+		maxS, sum := speedups[0], 0.0
+		for _, s := range speedups {
+			if s > maxS {
+				maxS = s
+			}
+			sum += s
+		}
+		b.WriteString(fmt.Sprintf("\nRPM speedup over LS: max %.0fx, mean %.0fx (paper: 587x max, 78x mean)\n",
+			maxS, sum/float64(len(speedups))))
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the data behind Figure 7: the pairwise error
+// comparison of RPM against each rival — per-dataset (x, y) pairs, the
+// win/tie/loss counts that the scatter conveys, and the Wilcoxon p-value.
+func FormatFig7(results []DatasetResult, methods []string) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: pairwise error comparison, RPM (y) vs rival (x)\n")
+	for _, m := range methods {
+		if m == MethodRPM {
+			continue
+		}
+		va, vb, names := PairedErrors(results, m, MethodRPM)
+		if len(va) == 0 {
+			continue
+		}
+		wins, ties, losses := 0, 0, 0
+		b.WriteString(fmt.Sprintf("\n-- RPM vs %s (p = %.4f) --\n", m, Wilcoxon(results, MethodRPM, m)))
+		for i := range va {
+			rel := "tie"
+			switch {
+			case vb[i] < va[i]:
+				rel = "RPM wins"
+				wins++
+			case vb[i] > va[i]:
+				rel = fmt.Sprintf("%s wins", m)
+				losses++
+			default:
+				ties++
+			}
+			b.WriteString(fmt.Sprintf("  %-18s x=%.3f y=%.3f  %s\n", names[i], va[i], vb[i], rel))
+		}
+		b.WriteString(fmt.Sprintf("  summary: RPM wins %d, ties %d, %s wins %d\n", wins, ties, m, losses))
+	}
+	return b.String()
+}
+
+// FormatFig8 renders the data behind Figure 8: log-runtime scatter of RPM
+// against LS and FS.
+func FormatFig8(results []DatasetResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: pairwise runtime comparison (seconds, log-scale scatter data)\n")
+	for _, m := range []string{MethodLS, MethodFS} {
+		b.WriteString(fmt.Sprintf("\n-- %s (x) vs RPM (y) --\n", m))
+		wins := 0
+		n := 0
+		for _, dr := range results {
+			rm, ok1 := dr.Results[m]
+			rr, ok2 := dr.Results[MethodRPM]
+			if !ok1 || !ok2 {
+				continue
+			}
+			n++
+			rel := m + " faster"
+			if rr.Total() < rm.Total() {
+				rel = "RPM faster"
+				wins++
+			}
+			b.WriteString(fmt.Sprintf("  %-18s x=%.2f y=%.2f  %s\n",
+				dr.Name, rm.Total().Seconds(), rr.Total().Seconds(), rel))
+		}
+		b.WriteString(fmt.Sprintf("  summary: RPM faster on %d/%d datasets\n", wins, n))
+	}
+	return b.String()
+}

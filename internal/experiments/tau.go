@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rpm/internal/core"
+	"rpm/internal/datagen"
+	"rpm/internal/stats"
+)
+
+// TauPercentiles are the similarity-threshold settings swept by the
+// paper's Table 3 and Figure 9.
+var TauPercentiles = []float64{10, 30, 50, 70, 90}
+
+// TauPoint is one (τ percentile → runtime, error) measurement.
+type TauPoint struct {
+	Percentile float64
+	Err        float64
+	Time       time.Duration
+}
+
+// TauSeries is the τ sweep of one dataset.
+type TauSeries struct {
+	Dataset string
+	Points  []TauPoint
+}
+
+// RunTauSweep measures RPM's running time and error across the τ
+// percentiles for each configured dataset (paper §5.3, Table 3 / Fig. 9).
+func RunTauSweep(cfg Config, progress func(string)) ([]TauSeries, error) {
+	cfg = cfg.withDefaults()
+	var out []TauSeries
+	for _, name := range cfg.Datasets {
+		g, ok := datagen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		}
+		split := g.Generate(cfg.Seed)
+		series := TauSeries{Dataset: name}
+		for _, pct := range TauPercentiles {
+			o := rpmOptions(cfg)
+			o.TauPercentile = pct
+			start := time.Now()
+			clf, err := core.Train(split.Train, o)
+			if err != nil {
+				return nil, err
+			}
+			preds := clf.PredictBatch(split.Test)
+			series.Points = append(series.Points, TauPoint{
+				Percentile: pct,
+				Err:        stats.ErrorRate(preds, split.Test.Labels()),
+				Time:       time.Since(start),
+			})
+		}
+		out = append(out, series)
+		if progress != nil {
+			progress("tau sweep done: " + name)
+		}
+	}
+	return out, nil
+}
+
+// FormatTable3 renders the paper's Table 3: the average percent change of
+// running time and classification error between consecutive τ settings.
+func FormatTable3(sweep []TauSeries) string {
+	var b strings.Builder
+	b.WriteString("Table 3: average running-time and error change for different τ percentiles\n")
+	b.WriteString("(positive = increase, negative = decrease)\n\n")
+	steps := len(TauPercentiles) - 1
+	timeChange := make([]float64, steps)
+	errChange := make([]float64, steps)
+	counts := make([]int, steps)
+	for _, s := range sweep {
+		for i := 0; i+1 < len(s.Points); i++ {
+			prev, next := s.Points[i], s.Points[i+1]
+			if prev.Time > 0 {
+				timeChange[i] += 100 * (next.Time.Seconds() - prev.Time.Seconds()) / prev.Time.Seconds()
+			}
+			// error change in absolute percentage points, as in the paper
+			errChange[i] += 100 * (next.Err - prev.Err)
+			counts[i]++
+		}
+	}
+	header := "Metric"
+	for i := 0; i < steps; i++ {
+		header += fmt.Sprintf("\t%.0f%%-%.0f%%", TauPercentiles[i], TauPercentiles[i+1])
+	}
+	rows := [][]float64{timeChange, errChange}
+	names := []string{"Running Time Change (%)", "Error Change (points)"}
+	b.WriteString(header + "\n")
+	for r, row := range rows {
+		line := names[r]
+		for i := 0; i < steps; i++ {
+			v := 0.0
+			if counts[i] > 0 {
+				v = row[i] / float64(counts[i])
+			}
+			line += fmt.Sprintf("\t%+.2f", v)
+		}
+		b.WriteString(line + "\n")
+	}
+	return strings.ReplaceAll(b.String(), "\t", "   ")
+}
+
+// FormatFig9 renders the data behind Figure 9: per-dataset running time
+// and error as functions of the τ percentile.
+func FormatFig9(sweep []TauSeries) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: running time (s) and error as functions of τ percentile\n")
+	for _, s := range sweep {
+		b.WriteString(fmt.Sprintf("\n-- %s --\n", s.Dataset))
+		b.WriteString("  tau%:  ")
+		for _, p := range s.Points {
+			b.WriteString(fmt.Sprintf("%8.0f", p.Percentile))
+		}
+		b.WriteString("\n  time:  ")
+		for _, p := range s.Points {
+			b.WriteString(fmt.Sprintf("%8.2f", p.Time.Seconds()))
+		}
+		b.WriteString("\n  error: ")
+		for _, p := range s.Points {
+			b.WriteString(fmt.Sprintf("%8.3f", p.Err))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

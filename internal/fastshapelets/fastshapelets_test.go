@@ -1,0 +1,131 @@
+package fastshapelets
+
+import (
+	"math"
+	"testing"
+
+	"rpm/internal/datagen"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+func TestTrainPredictGunPoint(t *testing.T) {
+	s := datagen.MustByName("SynGunPoint").Generate(1)
+	m := Train(s.Train, Config{})
+	preds := m.PredictBatch(s.Test)
+	if e := stats.ErrorRate(preds, s.Test.Labels()); e > 0.2 {
+		t.Errorf("FS error on SynGunPoint = %v", e)
+	}
+	if m.NumNodes == 0 {
+		t.Error("tree has no internal nodes")
+	}
+}
+
+func TestTrainPredictCBF(t *testing.T) {
+	s := datagen.MustByName("SynCBF").Generate(2)
+	m := Train(s.Train, Config{})
+	preds := m.PredictBatch(s.Test)
+	if e := stats.ErrorRate(preds, s.Test.Labels()); e > 0.35 {
+		t.Errorf("FS error on SynCBF = %v", e)
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	var d ts.Dataset
+	for i := 0; i < 6; i++ {
+		v := make([]float64, 40)
+		for j := range v {
+			v[j] = float64(i + j)
+		}
+		d = append(d, ts.Instance{Label: 7, Values: v})
+	}
+	m := Train(d, Config{})
+	if m.NumNodes != 0 {
+		t.Errorf("pure data grew %d internal nodes", m.NumNodes)
+	}
+	if got := m.Predict(d[0].Values); got != 7 {
+		t.Errorf("Predict = %d", got)
+	}
+}
+
+func TestShapeletsAccessor(t *testing.T) {
+	s := datagen.MustByName("SynGunPoint").Generate(3)
+	m := Train(s.Train, Config{})
+	shs := m.Shapelets()
+	if len(shs) != m.NumNodes {
+		t.Errorf("Shapelets() returned %d, NumNodes %d", len(shs), m.NumNodes)
+	}
+	for _, sh := range shs {
+		if len(sh) < 2 {
+			t.Error("degenerate shapelet")
+		}
+		// shapelets are stored z-normalized
+		if math.Abs(ts.Mean(sh)) > 1e-6 {
+			t.Error("shapelet not z-normalized")
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	s := datagen.MustByName("SynItalyPower").Generate(4)
+	m1 := Train(s.Train, Config{Seed: 5})
+	m2 := Train(s.Train, Config{Seed: 5})
+	p1 := m1.PredictBatch(s.Test)
+	p2 := m2.PredictBatch(s.Test)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different predictions")
+		}
+	}
+}
+
+func TestBestSplitKnownCase(t *testing.T) {
+	dists := []float64{0.1, 0.2, 0.3, 5.1, 5.2, 5.3}
+	labels := []int{1, 1, 1, 2, 2, 2}
+	gain, thr, gap := bestSplit(dists, labels)
+	if math.Abs(gain-1) > 1e-12 {
+		t.Errorf("gain = %v, want 1 bit", gain)
+	}
+	if thr <= 0.3 || thr >= 5.1 {
+		t.Errorf("threshold = %v, want inside the gap", thr)
+	}
+	if math.Abs(gap-4.8) > 1e-9 {
+		t.Errorf("gap = %v", gap)
+	}
+}
+
+func TestBestSplitNoValidThreshold(t *testing.T) {
+	// all distances identical: no split possible
+	gain, _, _ := bestSplit([]float64{1, 1, 1, 1}, []int{1, 1, 2, 2})
+	if gain > 0 {
+		t.Errorf("gain = %v on unsplittable distances", gain)
+	}
+}
+
+func TestTrainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Train(nil, Config{})
+}
+
+func TestShortSeries(t *testing.T) {
+	var d ts.Dataset
+	for i := 0; i < 10; i++ {
+		v := make([]float64, 8)
+		lab := 1
+		if i%2 == 0 {
+			lab = 2
+			v[3] = 5
+		}
+		v[0] = float64(i) * 0.01
+		d = append(d, ts.Instance{Label: lab, Values: v})
+	}
+	m := Train(d, Config{})
+	preds := m.PredictBatch(d)
+	if e := stats.ErrorRate(preds, d.Labels()); e > 0.2 {
+		t.Errorf("short-series training error = %v", e)
+	}
+}

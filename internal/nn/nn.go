@@ -1,0 +1,166 @@
+// Package nn implements the two nearest-neighbor baselines of the paper's
+// evaluation (§5.1): 1NN with Euclidean distance (NN-ED) and 1NN with
+// dynamic time warping using the best warping window learned from the
+// training data by leave-one-out cross-validation (NN-DTWB), accelerated
+// with the LB_Keogh lower bound and early-abandoning DTW.
+package nn
+
+import (
+	"math"
+
+	"rpm/internal/dist"
+	"rpm/internal/ts"
+)
+
+// EDClassifier is a 1-nearest-neighbor classifier under Euclidean distance.
+type EDClassifier struct {
+	train ts.Dataset
+}
+
+// NewED builds the classifier; the training data is referenced, not copied.
+func NewED(train ts.Dataset) *EDClassifier {
+	if len(train) == 0 {
+		panic("nn: empty training set")
+	}
+	return &EDClassifier{train: train}
+}
+
+// Predict returns the label of the nearest training instance, with early
+// abandoning on the squared distance.
+func (c *EDClassifier) Predict(query []float64) int {
+	best := math.Inf(1)
+	label := c.train[0].Label
+	for _, in := range c.train {
+		d := dist.SqEuclideanEarly(in.Values, query, best)
+		if d < best {
+			best = d
+			label = in.Label
+		}
+	}
+	return label
+}
+
+// PredictBatch classifies every instance of test.
+func (c *EDClassifier) PredictBatch(test ts.Dataset) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = c.Predict(in.Values)
+	}
+	return out
+}
+
+// DTWClassifier is a 1-nearest-neighbor classifier under band-constrained
+// DTW. Envelopes of every training instance are precomputed for LB_Keogh
+// pruning.
+type DTWClassifier struct {
+	train  ts.Dataset
+	window int
+	upper  [][]float64
+	lower  [][]float64
+}
+
+// NewDTW builds the classifier with the given Sakoe-Chiba half-width (in
+// points, not percent).
+func NewDTW(train ts.Dataset, window int) *DTWClassifier {
+	if len(train) == 0 {
+		panic("nn: empty training set")
+	}
+	if window < 0 {
+		window = 0
+	}
+	c := &DTWClassifier{train: train, window: window}
+	c.upper = make([][]float64, len(train))
+	c.lower = make([][]float64, len(train))
+	for i, in := range train {
+		c.upper[i], c.lower[i] = dist.Envelope(in.Values, window)
+	}
+	return c
+}
+
+// Window returns the classifier's Sakoe-Chiba half-width.
+func (c *DTWClassifier) Window() int { return c.window }
+
+// Predict returns the label of the DTW-nearest training instance. The
+// LB_Keogh bound skips candidates that cannot beat the best-so-far, and
+// the DTW computation itself abandons rows exceeding it.
+func (c *DTWClassifier) Predict(query []float64) int {
+	return c.predictSkip(query, -1)
+}
+
+// predictSkip is Predict that ignores training index skip (for LOOCV).
+func (c *DTWClassifier) predictSkip(query []float64, skip int) int {
+	best := math.Inf(1)
+	label := 0
+	haveLabel := false
+	for i, in := range c.train {
+		if i == skip {
+			continue
+		}
+		if len(query) == len(in.Values) {
+			if lb := dist.LBKeogh(query, c.upper[i], c.lower[i], best); math.IsInf(lb, 1) {
+				continue
+			}
+		}
+		d := dist.DTWEarly(in.Values, query, c.window, best)
+		if d < best || !haveLabel {
+			if !math.IsInf(d, 1) || !haveLabel {
+				best = d
+				label = in.Label
+				haveLabel = true
+			}
+		}
+	}
+	return label
+}
+
+// PredictBatch classifies every instance of test.
+func (c *DTWClassifier) PredictBatch(test ts.Dataset) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = c.Predict(in.Values)
+	}
+	return out
+}
+
+// BestWindow learns the best warping window on the training set by
+// leave-one-out cross-validation over windows from 0 to maxFrac of the
+// series length in 1% steps, as is standard for the UCR baselines. Ties
+// prefer the smaller window (cheaper and less prone to pathological
+// warping). maxFrac <= 0 defaults to 0.2 (20%).
+func BestWindow(train ts.Dataset, maxFrac float64) int {
+	if len(train) == 0 {
+		panic("nn: empty training set")
+	}
+	if maxFrac <= 0 {
+		maxFrac = 0.2
+	}
+	m := train.MinLen()
+	maxW := int(maxFrac * float64(m))
+	step := m / 100
+	if step < 1 {
+		step = 1
+	}
+	bestW := 0
+	bestAcc := -1.0
+	for w := 0; w <= maxW; w += step {
+		c := NewDTW(train, w)
+		correct := 0
+		for i, in := range train {
+			if c.predictSkip(in.Values, i) == in.Label {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(train))
+		if acc > bestAcc {
+			bestAcc = acc
+			bestW = w
+		}
+	}
+	return bestW
+}
+
+// NewDTWBest is the NN-DTWB baseline: learn the window, build the
+// classifier.
+func NewDTWBest(train ts.Dataset) *DTWClassifier {
+	return NewDTW(train, BestWindow(train, 0.2))
+}

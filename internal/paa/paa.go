@@ -1,0 +1,74 @@
+// Package paa implements Piecewise Aggregate Approximation (Keogh et al.
+// 2001), the dimensionality-reduction step of SAX: a series of length n is
+// reduced to w segment means.
+//
+// When w does not divide n the implementation uses fractional weighting:
+// each original point contributes to the segments it overlaps in proportion
+// to the overlap, which is the exact formulation (equivalent to up-sampling
+// the series by w and down-sampling by n) rather than the truncation
+// shortcut.
+package paa
+
+import "fmt"
+
+// Transform reduces v to w segment means. It panics if w <= 0; if
+// w >= len(v) it returns a copy of v (no reduction possible).
+func Transform(v []float64, w int) []float64 {
+	out := make([]float64, 0, w)
+	return TransformInto(out, v, w)
+}
+
+// TransformInto appends the w segment means of v to dst and returns the
+// extended slice. It exists so hot loops can reuse a buffer.
+func TransformInto(dst, v []float64, w int) []float64 {
+	if w <= 0 {
+		panic(fmt.Sprintf("paa: non-positive segment count %d", w))
+	}
+	n := len(v)
+	if n == 0 {
+		return dst
+	}
+	if w >= n {
+		return append(dst, v...)
+	}
+	if n%w == 0 {
+		// fast path: equal integer-sized segments
+		seg := n / w
+		inv := 1 / float64(seg)
+		for i := 0; i < w; i++ {
+			var s float64
+			for _, x := range v[i*seg : (i+1)*seg] {
+				s += x
+			}
+			dst = append(dst, s*inv)
+		}
+		return dst
+	}
+	// general path: fractional weighting. Segment i covers the real
+	// interval [i*n/w, (i+1)*n/w) of point indices.
+	fw := float64(w)
+	fn := float64(n)
+	segLen := fn / fw
+	for i := 0; i < w; i++ {
+		lo := float64(i) * segLen
+		hi := float64(i+1) * segLen
+		var s float64
+		j := int(lo)
+		for float64(j) < hi && j < n {
+			l := lo
+			if float64(j) > l {
+				l = float64(j)
+			}
+			h := hi
+			if float64(j+1) < h {
+				h = float64(j + 1)
+			}
+			if h > l {
+				s += v[j] * (h - l)
+			}
+			j++
+		}
+		dst = append(dst, s/segLen)
+	}
+	return dst
+}

@@ -1,0 +1,139 @@
+package paa
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformDivisible(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6}
+	got := Transform(v, 3)
+	want := []float64{1.5, 3.5, 5.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Transform = %v, want %v", got, want)
+	}
+}
+
+func TestTransformSingleSegment(t *testing.T) {
+	v := []float64{2, 4, 6}
+	got := Transform(v, 1)
+	if len(got) != 1 || math.Abs(got[0]-4) > 1e-12 {
+		t.Errorf("Transform = %v, want [4]", got)
+	}
+}
+
+func TestTransformIdentityWhenWGEN(t *testing.T) {
+	v := []float64{1, 2, 3}
+	if got := Transform(v, 3); !reflect.DeepEqual(got, v) {
+		t.Errorf("w==n should be identity, got %v", got)
+	}
+	if got := Transform(v, 10); !reflect.DeepEqual(got, v) {
+		t.Errorf("w>n should be identity, got %v", got)
+	}
+}
+
+func TestTransformFractional(t *testing.T) {
+	// n=3, w=2: segment 0 covers points [0,1.5), segment 1 covers [1.5,3).
+	v := []float64{0, 6, 12}
+	got := Transform(v, 2)
+	// seg0 = (0*1 + 6*0.5)/1.5 = 2 ; seg1 = (6*0.5 + 12*1)/1.5 = 10
+	want := []float64{2, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Transform = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTransformEmpty(t *testing.T) {
+	if got := Transform(nil, 4); len(got) != 0 {
+		t.Errorf("empty input should give empty output, got %v", got)
+	}
+}
+
+func TestTransformPanicsOnBadW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for w<=0")
+		}
+	}()
+	Transform([]float64{1, 2}, 0)
+}
+
+// The overall mean must be preserved by PAA (each point's total weight is
+// equal), for any series and segment count.
+func TestTransformPreservesMean(t *testing.T) {
+	f := func(seed int64, n, w uint8) bool {
+		nn := int(n%64) + 2
+		ww := int(w%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, nn)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		out := Transform(v, ww)
+		var mv, mo float64
+		for _, x := range v {
+			mv += x
+		}
+		mv /= float64(len(v))
+		for _, x := range out {
+			mo += x
+		}
+		mo /= float64(len(out))
+		if ww >= nn {
+			return reflect.DeepEqual(out, v)
+		}
+		return math.Abs(mv-mo) < 1e-9 && len(out) == ww
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PAA of a constant series is constant.
+func TestTransformConstant(t *testing.T) {
+	v := make([]float64, 17)
+	for i := range v {
+		v[i] = 3.25
+	}
+	for _, w := range []int{1, 2, 5, 7, 16} {
+		out := Transform(v, w)
+		for _, x := range out {
+			if math.Abs(x-3.25) > 1e-9 {
+				t.Errorf("w=%d: constant series PAA not constant: %v", w, out)
+			}
+		}
+	}
+}
+
+// Monotone non-decreasing input must yield monotone non-decreasing PAA.
+func TestTransformMonotone(t *testing.T) {
+	v := make([]float64, 31)
+	for i := range v {
+		v[i] = float64(i * i)
+	}
+	for _, w := range []int{2, 3, 5, 10, 30} {
+		out := Transform(v, w)
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1]-1e-12 {
+				t.Errorf("w=%d: PAA not monotone at %d: %v", w, i, out)
+			}
+		}
+	}
+}
+
+func TestTransformIntoReusesBuffer(t *testing.T) {
+	buf := make([]float64, 0, 8)
+	v := []float64{1, 2, 3, 4}
+	out := TransformInto(buf, v, 2)
+	if &out[0] != &buf[:1][0] {
+		t.Error("TransformInto did not reuse the provided buffer")
+	}
+	if !reflect.DeepEqual(out, []float64{1.5, 3.5}) {
+		t.Errorf("TransformInto = %v", out)
+	}
+}

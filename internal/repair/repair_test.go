@@ -1,0 +1,137 @@
+package repair
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func toks(s string) []int {
+	out := make([]int, len(s))
+	for i := range s {
+		out[i] = int(s[i])
+	}
+	return out
+}
+
+func TestExpandReproducesInput(t *testing.T) {
+	inputs := []string{
+		"", "a", "ab", "abab", "abcabc", "aaa", "aaaa", "aaaaaaaa",
+		"abcdbcabcdbc", "mississippi", "aabaaab",
+	}
+	for _, in := range inputs {
+		g := Infer(toks(in))
+		got := g.Expand()
+		want := toks(in)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("input %q: expand = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSimpleRepeat(t *testing.T) {
+	g := Infer(toks("abcabc"))
+	if g.NumRules() < 1 {
+		t.Fatal("no rules created")
+	}
+	found := false
+	for _, r := range g.Rules() {
+		if reflect.DeepEqual(r.Yield, toks("abc")) {
+			found = true
+			want := []int{0, 3}
+			for i, s := range r.Spans {
+				if s.Start != want[i] || s.Len() != 3 {
+					t.Errorf("span %d = %+v", i, s)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no rule yields abc")
+	}
+}
+
+func TestDigramUniquenessAtEnd(t *testing.T) {
+	// After Re-Pair, no digram may have two non-overlapping occurrences
+	// in the final sequence (overlapping pairs inside a run of identical
+	// symbols don't count, exactly as the algorithm counts them).
+	g := Infer(toks("abcabcabcxyzxyz"))
+	if _, count := mostFrequentDigram(g.final); count >= 2 {
+		t.Fatalf("final sequence %v still has a repeating digram", g.final)
+	}
+}
+
+func TestSpansMatchYields(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ln := int(n)%120 + 2
+		in := make([]int, ln)
+		for i := range in {
+			in[i] = rng.Intn(4)
+		}
+		g := Infer(in)
+		if !reflect.DeepEqual(g.Expand(), in) {
+			return false
+		}
+		for _, r := range g.Rules() {
+			if len(r.Spans) == 0 {
+				return false
+			}
+			for _, s := range r.Spans {
+				if s.Start < 0 || s.End >= len(in) || s.Len() != len(r.Yield) {
+					return false
+				}
+				if !reflect.DeepEqual(in[s.Start:s.End+1], r.Yield) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunsOfIdenticalSymbols(t *testing.T) {
+	// "aaaa" must compress without counting overlapping pairs twice.
+	g := Infer(toks("aaaa"))
+	if !reflect.DeepEqual(g.Expand(), toks("aaaa")) {
+		t.Fatalf("expand = %v", g.Expand())
+	}
+	if g.NumRules() == 0 {
+		t.Error("run input should create at least one rule")
+	}
+}
+
+func TestNoRulesForUniqueInput(t *testing.T) {
+	g := Infer([]int{1, 2, 3, 4, 5})
+	if g.NumRules() != 0 {
+		t.Errorf("%d rules for repeat-free input", g.NumRules())
+	}
+	if len(g.Rules()) != 0 {
+		t.Error("Rules() nonempty")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	in := toks("abracadabraabracadabra")
+	a := Infer(in)
+	b := Infer(in)
+	if !reflect.DeepEqual(a.final, b.final) || a.NumRules() != b.NumRules() {
+		t.Error("Re-Pair not deterministic")
+	}
+}
+
+func TestPanicsOnNegativeToken(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Infer([]int{1, -1})
+}

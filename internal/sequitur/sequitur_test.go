@@ -1,0 +1,248 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// toks converts a string to one token per byte, for readable tests.
+func toks(s string) []int {
+	out := make([]int, len(s))
+	for i := range s {
+		out[i] = int(s[i])
+	}
+	return out
+}
+
+func TestExpandReproducesInput(t *testing.T) {
+	inputs := []string{
+		"",
+		"a",
+		"ab",
+		"abab",
+		"abcabc",
+		"aaa",
+		"aaaa",
+		"aaaaaaaa",
+		"abcdbcabcdbc",
+		"ababababab",
+		"xabcabcy",
+		"mississippi",
+		"aabaaab",
+	}
+	for _, in := range inputs {
+		g := Infer(toks(in))
+		if got := g.Expand(); !reflect.DeepEqual(got, toks(in)) && !(len(got) == 0 && len(in) == 0) {
+			t.Errorf("input %q: expand = %v, want %v\n%s", in, got, toks(in), g)
+		}
+		if g.Len() != len(in) {
+			t.Errorf("input %q: Len = %d", in, g.Len())
+		}
+	}
+}
+
+func TestInvariantsOnFixedInputs(t *testing.T) {
+	inputs := []string{
+		"abab", "abcabc", "aaaa", "abcdbcabcdbc", "mississippi",
+		"aabaaab", "abcabcabcabc", "xyxyxzxyxyxz",
+	}
+	for _, in := range inputs {
+		g := Infer(toks(in))
+		if err := g.checkInvariants(); err != nil {
+			t.Errorf("input %q: %v\n%s", in, err, g)
+		}
+	}
+}
+
+func TestSimpleRepeatCreatesRule(t *testing.T) {
+	g := Infer(toks("abcabc"))
+	if g.NumRules() < 1 {
+		t.Fatalf("expected at least one rule\n%s", g)
+	}
+	rules := g.Rules()
+	// some rule must yield "abc" and occur at spans [0,2] and [3,5]
+	found := false
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Yield, toks("abc")) {
+			found = true
+			want := []Span{{0, 2}, {3, 5}}
+			if !reflect.DeepEqual(r.Spans, want) {
+				t.Errorf("abc rule spans = %v, want %v", r.Spans, want)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no rule yields abc\n%s", g)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Paper §3.2.2: S1 = aba bac cab acc bac cab produces a rule for
+	// [bac cab] occurring twice. Tokens: aba=0 bac=1 cab=2 acc=3.
+	in := []int{0, 1, 2, 3, 1, 2}
+	g := Infer(in)
+	rules := g.Rules()
+	if len(rules) != 1 {
+		t.Fatalf("expected exactly 1 rule, got %d\n%s", len(rules), g)
+	}
+	r := rules[0]
+	if !reflect.DeepEqual(r.Yield, []int{1, 2}) {
+		t.Errorf("rule yield = %v, want [1 2]", r.Yield)
+	}
+	want := []Span{{1, 2}, {4, 5}}
+	if !reflect.DeepEqual(r.Spans, want) {
+		t.Errorf("rule spans = %v, want %v", r.Spans, want)
+	}
+}
+
+func TestNestedRules(t *testing.T) {
+	// abcdbc: bc repeats inside; then abcdbc abcdbc repeats wholly.
+	in := toks("abcdbcabcdbc")
+	g := Infer(in)
+	rules := g.Rules()
+	// find the rule yielding the full half
+	var half *Rule
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Yield, toks("abcdbc")) {
+			half = r
+		}
+	}
+	if half == nil {
+		t.Fatalf("no rule yields abcdbc\n%s", g)
+	}
+	if !reflect.DeepEqual(half.Spans, []Span{{0, 5}, {6, 11}}) {
+		t.Errorf("half spans = %v", half.Spans)
+	}
+	// the bc rule occurs 4 times in the derivation
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Yield, toks("bc")) {
+			if len(r.Spans) != 4 {
+				t.Errorf("bc rule occurs %d times, want 4: %v", len(r.Spans), r.Spans)
+			}
+			for _, s := range r.Spans {
+				got := string([]byte{byte(in[s.Start]), byte(in[s.End])})
+				if got != "bc" || s.Len() != 2 {
+					t.Errorf("bc span %v covers %q", s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSpansMatchYields(t *testing.T) {
+	// Property: for random inputs over a small alphabet, every reported
+	// span's input slice equals the rule's yield, and invariants hold.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ln := int(n)%120 + 2
+		in := make([]int, ln)
+		for i := range in {
+			in[i] = rng.Intn(4)
+		}
+		g := Infer(in)
+		if !reflect.DeepEqual(g.Expand(), in) {
+			t.Logf("expand mismatch for %v", in)
+			return false
+		}
+		if err := g.checkInvariants(); err != nil {
+			t.Logf("invariants: %v for %v\n%s", err, in, g)
+			return false
+		}
+		for _, r := range g.Rules() {
+			if len(r.Spans) < 2 {
+				t.Logf("rule with <2 spans for %v\n%s", in, g)
+				return false
+			}
+			for _, s := range r.Spans {
+				if s.Start < 0 || s.End >= len(in) || s.Len() != len(r.Yield) {
+					return false
+				}
+				if !reflect.DeepEqual(in[s.Start:s.End+1], r.Yield) {
+					t.Logf("span %v != yield %v in %v", s, r.Yield, in)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongPeriodicInput(t *testing.T) {
+	// Long periodic input should compress into deep hierarchy but still
+	// expand correctly.
+	var in []int
+	for i := 0; i < 500; i++ {
+		in = append(in, i%7)
+	}
+	g := Infer(in)
+	if !reflect.DeepEqual(g.Expand(), in) {
+		t.Fatal("expand mismatch on periodic input")
+	}
+	if err := g.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRules() == 0 {
+		t.Fatal("periodic input produced no rules")
+	}
+	// Hierarchy should compress: number of symbols in root far below input length.
+	n := 0
+	for s := g.root.first(); !s.isGuard(); s = s.next {
+		n++
+	}
+	if n >= len(in)/2 {
+		t.Errorf("root has %d symbols for input of %d; no compression", n, len(in))
+	}
+}
+
+func TestNoRulesForUniqueInput(t *testing.T) {
+	in := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	g := Infer(in)
+	if g.NumRules() != 0 {
+		t.Errorf("unique input produced %d rules\n%s", g.NumRules(), g)
+	}
+	if got := g.Rules(); len(got) != 0 {
+		t.Errorf("Rules() = %v", got)
+	}
+}
+
+func TestAppendNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative token")
+		}
+	}()
+	New().Append(-1)
+}
+
+func TestRuleStringRendering(t *testing.T) {
+	g := Infer(toks("abcabc"))
+	s := g.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+	for _, r := range g.Rules() {
+		if r.RHS == "" {
+			t.Error("empty RHS")
+		}
+	}
+}
+
+func TestIncrementalEqualsOneShot(t *testing.T) {
+	in := toks("abracadabraabracadabra")
+	g1 := Infer(in)
+	g2 := New()
+	for _, tk := range in {
+		g2.Append(tk)
+	}
+	if !reflect.DeepEqual(g1.Expand(), g2.Expand()) {
+		t.Error("incremental construction differs from one-shot")
+	}
+	if g1.String() != g2.String() {
+		t.Error("grammars differ between incremental and one-shot")
+	}
+}

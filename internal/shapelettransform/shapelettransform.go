@@ -1,0 +1,242 @@
+// Package shapelettransform implements the Shapelet Transform classifier
+// (Lines, Davis, Hills & Bagnall, KDD 2012), discussed in the paper's
+// related work (§2.2): find the K best shapelets by information gain,
+// transform every series into a K-vector of closest-match distances, and
+// train any vector classifier on the result — here the same linear SVM
+// RPM uses. It is not part of the paper's evaluation tables, but it is the
+// closest methodological relative of RPM's transform stage and ships as an
+// extension for side-by-side comparison.
+package shapelettransform
+
+import (
+	"math"
+	"sort"
+
+	"rpm/internal/dist"
+	"rpm/internal/svm"
+	"rpm/internal/ts"
+)
+
+// Config tunes training. Zero values select sensible defaults.
+type Config struct {
+	// K is the number of shapelets kept for the transform (default 10·#classes,
+	// capped at 100).
+	K int
+	// Lengths are the candidate shapelet lengths (default a 10-step sweep
+	// over [m/10, m/2]).
+	Lengths []int
+	// Stride is the sampling stride for candidate start positions
+	// (default: length/2, at least 1). Exhaustive search (stride 1 at all
+	// lengths) is the original algorithm; the stride keeps the candidate
+	// count near O(n·m) instead of O(n·m²).
+	Stride int
+	// SVM configures the classifier trained on the transformed space.
+	SVM svm.Config
+	// Seed drives the SVM's coordinate shuffling.
+	Seed int64
+}
+
+// Model is a trained Shapelet Transform classifier.
+type Model struct {
+	shapelets [][]float64
+	svm       *svm.Model
+}
+
+// Shapelets returns the selected shapelets, best first.
+func (m *Model) Shapelets() [][]float64 { return m.shapelets }
+
+// scored is one candidate with its quality.
+type scored struct {
+	values []float64
+	gain   float64
+	gap    float64
+	series int
+	start  int
+}
+
+// Train runs shapelet discovery and fits the transform classifier.
+func Train(train ts.Dataset, cfg Config) *Model {
+	if len(train) == 0 {
+		panic("shapelettransform: empty training set")
+	}
+	classes := train.Classes()
+	if cfg.K <= 0 {
+		cfg.K = 10 * len(classes)
+		if cfg.K > 100 {
+			cfg.K = 100
+		}
+	}
+	m := train.MinLen()
+	if len(cfg.Lengths) == 0 {
+		lo := m / 10
+		if lo < 3 {
+			lo = 3
+		}
+		hi := m / 2
+		if hi < lo {
+			hi = lo
+		}
+		step := (hi - lo) / 9
+		if step < 1 {
+			step = 1
+		}
+		for l := lo; l <= hi; l += step {
+			cfg.Lengths = append(cfg.Lengths, l)
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	labels := train.Labels()
+	var all []scored
+	for _, L := range cfg.Lengths {
+		if L > m || L < 2 {
+			continue
+		}
+		stride := cfg.Stride
+		if stride <= 0 {
+			stride = L / 2
+			if stride < 1 {
+				stride = 1
+			}
+		}
+		for si, in := range train {
+			for p := 0; p+L <= len(in.Values); p += stride {
+				cand := ts.ZNorm(in.Values[p : p+L])
+				dists := make([]float64, len(train))
+				for i, other := range train {
+					dists[i] = dist.ClosestMatch(cand, other.Values).Dist
+				}
+				gain, _, gap := infoGainSplit(dists, labels)
+				if gain <= 0 {
+					continue
+				}
+				all = append(all, scored{values: cand, gain: gain, gap: gap, series: si, start: p})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].gain != all[j].gain {
+			return all[i].gain > all[j].gain
+		}
+		return all[i].gap > all[j].gap
+	})
+	// Keep the top K, discarding self-similar shapelets (overlapping
+	// provenance in the same series), as the original algorithm does.
+	var kept []scored
+	for _, c := range all {
+		if len(kept) >= cfg.K {
+			break
+		}
+		if selfSimilar(c, kept) {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	model := &Model{}
+	for _, c := range kept {
+		model.shapelets = append(model.shapelets, c.values)
+	}
+	if len(model.shapelets) == 0 {
+		// degenerate: no informative shapelet; fall back to one arbitrary
+		// subsequence so the transform stays well-defined
+		L := cfg.Lengths[0]
+		model.shapelets = append(model.shapelets, ts.ZNorm(train[0].Values[:L]))
+	}
+	X := make([][]float64, len(train))
+	for i, in := range train {
+		X[i] = model.transform(in.Values)
+	}
+	model.svm = svm.Train(X, labels, cfg.SVM)
+	return model
+}
+
+// selfSimilar reports whether c overlaps an already kept shapelet from the
+// same source series.
+func selfSimilar(c scored, kept []scored) bool {
+	for _, k := range kept {
+		if k.series != c.series {
+			continue
+		}
+		aLo, aHi := c.start, c.start+len(c.values)
+		bLo, bHi := k.start, k.start+len(k.values)
+		if aLo < bHi && bLo < aHi {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Model) transform(v []float64) []float64 {
+	out := make([]float64, len(m.shapelets))
+	for i, s := range m.shapelets {
+		out[i] = dist.ClosestMatch(s, v).Dist
+	}
+	return out
+}
+
+// Predict classifies one series.
+func (m *Model) Predict(v []float64) int { return m.svm.Predict(m.transform(v)) }
+
+// PredictBatch classifies every instance of test.
+func (m *Model) PredictBatch(test ts.Dataset) []int {
+	out := make([]int, len(test))
+	for i, in := range test {
+		out[i] = m.Predict(in.Values)
+	}
+	return out
+}
+
+// infoGainSplit finds the best threshold on dists by information gain
+// (shared logic with the shapelet literature's split evaluation).
+func infoGainSplit(dists []float64, labels []int) (gain, threshold, gap float64) {
+	n := len(dists)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	total := map[int]int{}
+	for _, l := range labels {
+		total[l]++
+	}
+	h := entropyOf(total, n)
+	left := map[int]int{}
+	bestGain, bestThr, bestGap := -1.0, 0.0, 0.0
+	for i := 0; i < n-1; i++ {
+		left[labels[idx[i]]]++
+		if dists[idx[i]] == dists[idx[i+1]] {
+			continue
+		}
+		nl := i + 1
+		nr := n - nl
+		right := map[int]int{}
+		for l, c := range total {
+			right[l] = c - left[l]
+		}
+		g := h - (float64(nl)/float64(n))*entropyOf(left, nl) - (float64(nr)/float64(n))*entropyOf(right, nr)
+		gp := dists[idx[i+1]] - dists[idx[i]]
+		if g > bestGain || (g == bestGain && gp > bestGap) {
+			bestGain = g
+			bestThr = (dists[idx[i]] + dists[idx[i+1]]) / 2
+			bestGap = gp
+		}
+	}
+	return bestGain, bestThr, bestGap
+}
+
+func entropyOf(counts map[int]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,96 @@
+package shapelettransform
+
+import (
+	"math"
+	"testing"
+
+	"rpm/internal/datagen"
+	"rpm/internal/stats"
+	"rpm/internal/ts"
+)
+
+func TestTrainPredictGunPoint(t *testing.T) {
+	s := datagen.MustByName("SynGunPoint").Generate(1)
+	m := Train(s.Train, Config{})
+	preds := m.PredictBatch(s.Test)
+	if e := stats.ErrorRate(preds, s.Test.Labels()); e > 0.15 {
+		t.Errorf("ST error on SynGunPoint = %v", e)
+	}
+	if len(m.Shapelets()) == 0 {
+		t.Error("no shapelets")
+	}
+}
+
+func TestTrainPredictCBF(t *testing.T) {
+	s := datagen.MustByName("SynCBF").Generate(2)
+	m := Train(s.Train, Config{K: 12})
+	preds := m.PredictBatch(s.Test)
+	if e := stats.ErrorRate(preds, s.Test.Labels()); e > 0.25 {
+		t.Errorf("ST error on SynCBF = %v", e)
+	}
+	if len(m.Shapelets()) > 12 {
+		t.Errorf("kept %d shapelets, cap was 12", len(m.Shapelets()))
+	}
+}
+
+func TestShapeletsZNormalized(t *testing.T) {
+	s := datagen.MustByName("SynItalyPower").Generate(3)
+	m := Train(s.Train, Config{})
+	for _, sh := range m.Shapelets() {
+		if math.Abs(ts.Mean(sh)) > 1e-6 {
+			t.Error("shapelet not z-normalized")
+		}
+	}
+}
+
+func TestSelfSimilarPruning(t *testing.T) {
+	a := scored{series: 0, start: 10, values: make([]float64, 20)}
+	cases := []struct {
+		c    scored
+		want bool
+	}{
+		{scored{series: 0, start: 15, values: make([]float64, 20)}, true},  // overlaps
+		{scored{series: 0, start: 30, values: make([]float64, 20)}, false}, // adjacent
+		{scored{series: 1, start: 10, values: make([]float64, 20)}, false}, // other series
+	}
+	for i, c := range cases {
+		if got := selfSimilar(c.c, []scored{a}); got != c.want {
+			t.Errorf("case %d: selfSimilar = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDegenerateConstantData(t *testing.T) {
+	var d ts.Dataset
+	for i := 0; i < 6; i++ {
+		v := make([]float64, 30)
+		for j := range v {
+			v[j] = 1 // constant: no informative shapelet exists
+		}
+		d = append(d, ts.Instance{Label: 1 + i%2, Values: v})
+	}
+	m := Train(d, Config{})
+	// must not panic and must return a valid label
+	if got := m.Predict(d[0].Values); got != 1 && got != 2 {
+		t.Errorf("Predict = %d", got)
+	}
+}
+
+func TestTrainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Train(nil, Config{})
+}
+
+func TestInfoGainSplitPerfectSeparation(t *testing.T) {
+	gain, thr, _ := infoGainSplit([]float64{1, 2, 8, 9}, []int{1, 1, 2, 2})
+	if math.Abs(gain-1) > 1e-12 {
+		t.Errorf("gain = %v", gain)
+	}
+	if thr <= 2 || thr >= 8 {
+		t.Errorf("threshold = %v", thr)
+	}
+}

@@ -1,0 +1,304 @@
+// Package svgplot is a minimal, dependency-free SVG chart writer used to
+// render the paper's figures as actual figures: line charts for time
+// series with highlighted patterns (Figs. 2/3/5/9/10) and scatter plots
+// for pairwise method comparisons (Figs. 7/8). It intentionally covers
+// only what the harness needs — axes, ticks, polylines, point markers, a
+// diagonal reference line, and log scales — in plain SVG 1.1.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Size and margin defaults (pixels).
+const (
+	defaultWidth  = 560
+	defaultHeight = 400
+	marginLeft    = 60
+	marginRight   = 20
+	marginTop     = 36
+	marginBottom  = 48
+)
+
+// palette cycles through series colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Series is one polyline of a line chart.
+type Series struct {
+	Name string
+	// X may be nil, meaning indices 0..len(Y)-1.
+	X []float64
+	Y []float64
+}
+
+// LineChart renders one or more series against shared axes.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int
+	Height int
+}
+
+// Points is one marker group of a scatter plot.
+type Points struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// ScatterChart renders labeled point groups, optionally with the y=x
+// diagonal (the "who wins" reference of Figs. 7/8) and log-log axes.
+type ScatterChart struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	Groups   []Points
+	Diagonal bool
+	LogLog   bool
+	Width    int
+	Height   int
+}
+
+type frame struct {
+	w, h                   int
+	xmin, xmax, ymin, ymax float64
+	log                    bool
+}
+
+func (f *frame) xpix(x float64) float64 {
+	if f.log {
+		x = math.Log10(x)
+	}
+	return marginLeft + (x-f.xmin)/(f.xmax-f.xmin)*float64(f.w-marginLeft-marginRight)
+}
+
+func (f *frame) ypix(y float64) float64 {
+	if f.log {
+		y = math.Log10(y)
+	}
+	return float64(f.h-marginBottom) - (y-f.ymin)/(f.ymax-f.ymin)*float64(f.h-marginTop-marginBottom)
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c LineChart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = defaultWidth
+	}
+	if height <= 0 {
+		height = defaultHeight
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		for i, y := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("svgplot: empty line chart")
+	}
+	f := &frame{w: width, h: height}
+	f.xmin, f.xmax = padRange(minMax(xs))
+	f.ymin, f.ymax = padRange(minMax(ys))
+
+	var b strings.Builder
+	header(&b, width, height, c.Title)
+	axes(&b, f, c.XLabel, c.YLabel, false)
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, y := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", f.xpix(x), f.ypix(y)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		legend(&b, width, si, s.Name, color)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c ScatterChart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = defaultWidth
+	}
+	if height <= 0 {
+		height = defaultHeight
+	}
+	var all []float64
+	for _, g := range c.Groups {
+		all = append(all, g.X...)
+		all = append(all, g.Y...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("svgplot: empty scatter chart")
+	}
+	f := &frame{w: width, h: height, log: c.LogLog}
+	lo, hi := minMax(all)
+	if c.LogLog {
+		if lo <= 0 {
+			lo = 1e-3 // clamp: log axes cannot show non-positive values
+		}
+		lo, hi = math.Log10(lo), math.Log10(hi)
+	}
+	lo, hi = padRange(lo, hi)
+	// shared square range so the diagonal means "equal"
+	f.xmin, f.xmax, f.ymin, f.ymax = lo, hi, lo, hi
+
+	var b strings.Builder
+	header(&b, width, height, c.Title)
+	axes(&b, f, c.XLabel, c.YLabel, c.LogLog)
+	if c.Diagonal {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			f.xpix(unlog(f.xmin, c.LogLog)), f.ypix(unlog(f.xmin, c.LogLog)),
+			f.xpix(unlog(f.xmax, c.LogLog)), f.ypix(unlog(f.xmax, c.LogLog)))
+	}
+	for gi, g := range c.Groups {
+		color := palette[gi%len(palette)]
+		for i := range g.X {
+			x, y := g.X[i], g.Y[i]
+			if c.LogLog && (x <= 0 || y <= 0) {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"/>`+"\n",
+				f.xpix(x), f.ypix(y), color)
+		}
+		legend(&b, width, gi, g.Name, color)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func unlog(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func header(b *strings.Builder, w, h int, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if title != "" {
+		fmt.Fprintf(b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+			w/2, escape(title))
+	}
+}
+
+func legend(b *strings.Builder, width, idx int, name, color string) {
+	if name == "" {
+		return
+	}
+	y := marginTop + 14*idx
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", width-marginRight-110, y, color)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+		width-marginRight-96, y+9, escape(name))
+}
+
+func axes(b *strings.Builder, f *frame, xlabel, ylabel string, log bool) {
+	x0 := float64(marginLeft)
+	y0 := float64(f.h - marginBottom)
+	x1 := float64(f.w - marginRight)
+	y1 := float64(marginTop)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x1, y0)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x0, y1)
+	for _, t := range ticks(f.xmin, f.xmax) {
+		px := marginLeft + (t-f.xmin)/(f.xmax-f.xmin)*float64(f.w-marginLeft-marginRight)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", px, y0, px, y0+4)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, y0+16, tickLabel(t, log))
+	}
+	for _, t := range ticks(f.ymin, f.ymax) {
+		py := y0 - (t-f.ymin)/(f.ymax-f.ymin)*float64(f.h-marginTop-marginBottom)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0-4, py, x0, py)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			x0-7, py+3, tickLabel(t, log))
+	}
+	if xlabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(marginLeft+f.w-marginRight)/2, f.h-10, escape(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			(marginTop+f.h-marginBottom)/2, (marginTop+f.h-marginBottom)/2, escape(ylabel))
+	}
+}
+
+func tickLabel(t float64, log bool) string {
+	if log {
+		return trimFloat(math.Pow(10, t))
+	}
+	return trimFloat(t)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}
+
+// ticks picks ~5 round tick positions in [lo, hi].
+func ticks(lo, hi float64) []float64 {
+	span := hi - lo
+	if span <= 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/5)))
+	for span/step > 8 {
+		step *= 2
+	}
+	for span/step < 3 {
+		step /= 2
+	}
+	var out []float64
+	t := math.Ceil(lo/step) * step
+	for ; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo > hi {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func padRange(lo, hi float64) (float64, float64) {
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	return lo - pad, hi + pad
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,155 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// renderLine is a helper returning the SVG text.
+func renderLine(t *testing.T, c LineChart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func renderScatter(t *testing.T, c ScatterChart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	svg := renderLine(t, LineChart{
+		Title:  "A <Title> & friends",
+		XLabel: "t",
+		YLabel: "value",
+		Series: []Series{
+			{Name: "sine", Y: []float64{0, 1, 0, -1, 0}},
+			{Name: "ramp", X: []float64{0, 1, 2, 3, 4}, Y: []float64{0, 2, 4, 6, 8}},
+		},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no polyline elements")
+	}
+	if strings.Count(svg, "polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "polyline"))
+	}
+	if !strings.Contains(svg, "&lt;Title&gt;") || !strings.Contains(svg, "&amp;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "sine") || !strings.Contains(svg, "ramp") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLineChartEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (LineChart{}).Render(&buf); err == nil {
+		t.Error("expected error for empty chart")
+	}
+}
+
+func TestScatterChartWithDiagonal(t *testing.T) {
+	svg := renderScatter(t, ScatterChart{
+		Title:    "Fig 7",
+		XLabel:   "rival error",
+		YLabel:   "RPM error",
+		Diagonal: true,
+		Groups: []Points{
+			{Name: "datasets", X: []float64{0.1, 0.2, 0.3}, Y: []float64{0.05, 0.25, 0.1}},
+		},
+	})
+	wellFormed(t, svg)
+	if strings.Count(svg, "<circle") != 3 {
+		t.Errorf("want 3 circles, got %d", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("diagonal missing")
+	}
+}
+
+func TestScatterLogLogDropsNonPositive(t *testing.T) {
+	svg := renderScatter(t, ScatterChart{
+		LogLog:   true,
+		Diagonal: true,
+		Groups: []Points{
+			{X: []float64{0.5, 10, 0}, Y: []float64{1, 100, 5}},
+		},
+	})
+	wellFormed(t, svg)
+	// the (0, 5) point cannot be drawn on a log axis
+	if got := strings.Count(svg, "<circle"); got != 2 {
+		t.Errorf("want 2 circles on log axes, got %d", got)
+	}
+}
+
+func TestScatterEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (ScatterChart{}).Render(&buf); err == nil {
+		t.Error("expected error for empty scatter")
+	}
+}
+
+func TestTicksAreRoundAndOrdered(t *testing.T) {
+	for _, r := range [][2]float64{{0, 1}, {-3, 7}, {0.001, 0.009}, {5, 5000}} {
+		ts := ticks(r[0], r[1])
+		if len(ts) < 3 || len(ts) > 12 {
+			t.Errorf("range %v: %d ticks", r, len(ts))
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Errorf("range %v: ticks not increasing: %v", r, ts)
+			}
+		}
+		for _, x := range ts {
+			if x < r[0]-1e-9 || x > r[1]+1e-9 {
+				t.Errorf("range %v: tick %v outside", r, x)
+			}
+		}
+	}
+}
+
+func TestTicksDegenerate(t *testing.T) {
+	if got := ticks(3, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+	if got := ticks(0, math.Inf(1)); len(got) != 1 {
+		t.Errorf("infinite ticks = %v", got)
+	}
+}
+
+func TestMinMaxSkipsNonFinite(t *testing.T) {
+	lo, hi := minMax([]float64{math.NaN(), 2, math.Inf(1), -1})
+	if lo != -1 || hi != 2 {
+		t.Errorf("minMax = %v, %v", lo, hi)
+	}
+	lo, hi = minMax(nil)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty minMax = %v, %v", lo, hi)
+	}
+}

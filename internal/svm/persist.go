@@ -1,0 +1,36 @@
+package svm
+
+import "fmt"
+
+// Snapshot is the serializable state of a trained model, used for model
+// persistence (all fields exported for encoding/json).
+type Snapshot struct {
+	Classes []int       `json:"classes"`
+	Weights [][]float64 `json:"weights"`
+	Mean    []float64   `json:"mean"`
+	Scale   []float64   `json:"scale"`
+}
+
+// Snapshot exports the model state.
+func (m *Model) Snapshot() Snapshot {
+	return Snapshot{Classes: m.classes, Weights: m.weights, Mean: m.mean, Scale: m.scale}
+}
+
+// FromSnapshot rebuilds a model from exported state.
+func FromSnapshot(s Snapshot) (*Model, error) {
+	if len(s.Classes) == 0 {
+		return nil, fmt.Errorf("svm: snapshot has no classes")
+	}
+	if len(s.Weights) != len(s.Classes) {
+		return nil, fmt.Errorf("svm: snapshot has %d weight vectors for %d classes", len(s.Weights), len(s.Classes))
+	}
+	if len(s.Mean) != len(s.Scale) {
+		return nil, fmt.Errorf("svm: snapshot mean/scale length mismatch")
+	}
+	for i, w := range s.Weights {
+		if len(w) != len(s.Mean)+1 {
+			return nil, fmt.Errorf("svm: weight vector %d has %d entries, want %d", i, len(w), len(s.Mean)+1)
+		}
+	}
+	return &Model{classes: s.Classes, weights: s.Weights, mean: s.Mean, scale: s.Scale}, nil
+}

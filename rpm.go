@@ -1,0 +1,312 @@
+// Package rpm implements RPM — Representative Pattern Mining for Efficient
+// Time Series Classification (Wang, Lin, Senin, Oates, Gandhi,
+// Boedihardjo, Chen & Frankenstein, EDBT 2016) — together with every
+// substrate the paper depends on and every baseline it is evaluated
+// against, all from scratch on the Go standard library.
+//
+// RPM classifies time series by discovering, for each class, a small set
+// of representative patterns: variable-length prototype subsequences that
+// occur in a large fraction of the class's training series and that
+// discriminate it from the other classes. Training discretizes each
+// class's series with SAX, finds recurrent patterns with Sequitur grammar
+// induction, refines them by hierarchical clustering, prunes
+// near-duplicates and non-discriminative candidates with correlation-based
+// feature selection, and fits a linear SVM in the resulting closest-match
+// distance space.
+//
+// # Quick start
+//
+//	split := rpm.GenerateDataset("SynCBF", 1)
+//	clf, err := rpm.Train(split.Train, rpm.DefaultOptions())
+//	if err != nil { ... }
+//	pred := clf.Predict(split.Test[0].Values)
+//
+// See the examples directory for end-to-end programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of the paper's
+// tables and figures.
+package rpm
+
+import (
+	"io"
+
+	"rpm/internal/core"
+	"rpm/internal/datagen"
+	"rpm/internal/dataset"
+	"rpm/internal/sax"
+	"rpm/internal/ts"
+)
+
+// Instance is one labeled time series.
+type Instance struct {
+	// Label is the class label; any integers are accepted.
+	Label int
+	// Values are the ordered observations.
+	Values []float64
+}
+
+// Dataset is an ordered collection of labeled time series.
+type Dataset []Instance
+
+// Split is a named dataset with a train/test partition, the unit every
+// experiment operates on.
+type Split struct {
+	Name  string
+	Train Dataset
+	Test  Dataset
+}
+
+// SAXParams are the three SAX discretization parameters (paper §4): the
+// sliding-window length, the PAA word size, and the alphabet cardinality.
+type SAXParams struct {
+	Window   int
+	PAA      int
+	Alphabet int
+}
+
+// GIAlgorithm selects the grammar-induction algorithm behind candidate
+// generation.
+type GIAlgorithm int
+
+const (
+	// GISequitur is the paper's choice (Nevill-Manning & Witten 1997).
+	GISequitur GIAlgorithm = iota
+	// GIRePair is the Re-Pair alternative (Larsson & Moffat 1999); the
+	// paper notes any context-free GI algorithm works.
+	GIRePair
+)
+
+// ParamMode selects how SAX parameters are chosen during training.
+type ParamMode int
+
+const (
+	// ParamDIRECT optimizes parameters per class with the DIRECT
+	// derivative-free optimizer (paper §4.2). This is the default.
+	ParamDIRECT ParamMode = iota
+	// ParamGrid runs the exhaustive cross-validated grid search of
+	// Algorithm 3.
+	ParamGrid
+	// ParamFixed uses Options.Params for every class, skipping the
+	// search entirely.
+	ParamFixed
+)
+
+// Options configures RPM training. Construct with DefaultOptions and
+// override what you need.
+type Options struct {
+	// Gamma is the minimum pattern support as a fraction of the class's
+	// training instances (default 0.2).
+	Gamma float64
+	// TauPercentile is the percentile of intra-cluster distances used as
+	// the similar-pattern removal threshold τ (default 30).
+	TauPercentile float64
+	// UseMedoid picks cluster medoids instead of centroids as pattern
+	// prototypes.
+	UseMedoid bool
+	// NumerosityReduction toggles SAX numerosity reduction (default on).
+	NumerosityReduction bool
+	// RotationInvariant enables the rotation-invariant transform of the
+	// paper's §6.1 case study.
+	RotationInvariant bool
+	// GI selects the grammar-induction algorithm (default GISequitur).
+	GI GIAlgorithm
+	// Mode selects the parameter search; Params is used when Mode is
+	// ParamFixed.
+	Mode   ParamMode
+	Params SAXParams
+	// Splits is the number of train/validate splits per parameter
+	// evaluation (default 5).
+	Splits int
+	// MaxEvals caps parameter-search objective evaluations per class
+	// (default 60).
+	MaxEvals int
+	// Seed makes training deterministic (default 1).
+	Seed int64
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{
+		Gamma:               0.2,
+		TauPercentile:       30,
+		NumerosityReduction: true,
+		Mode:                ParamDIRECT,
+		Splits:              5,
+		MaxEvals:            60,
+		Seed:                1,
+	}
+}
+
+// Pattern is one selected representative pattern.
+type Pattern struct {
+	// Class is the label the pattern represents.
+	Class int
+	// Values is the z-normalized prototype subsequence.
+	Values []float64
+	// Support is the number of distinct training instances of the class
+	// containing the pattern's motif.
+	Support int
+	// Freq is the total number of motif occurrences behind the pattern.
+	Freq int
+}
+
+// Classifier is a trained RPM model.
+type Classifier struct {
+	inner *core.Classifier
+}
+
+// Train learns an RPM classifier. Training data should be per-instance
+// z-normalized (the UCR convention); GenerateDataset and LoadUCR-produced
+// archive data already are.
+func Train(train Dataset, opts Options) (*Classifier, error) {
+	c, err := core.Train(toInternal(train), toCoreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{inner: c}, nil
+}
+
+// Predict classifies one series.
+func (c *Classifier) Predict(values []float64) int { return c.inner.Predict(values) }
+
+// PredictBatch classifies every instance and returns the predicted labels
+// in order.
+func (c *Classifier) PredictBatch(test Dataset) []int {
+	return c.inner.PredictBatch(toInternal(test))
+}
+
+// Transform maps a series into the representative-pattern distance space:
+// element k is the closest-match distance to pattern k.
+func (c *Classifier) Transform(values []float64) []float64 { return c.inner.Transform(values) }
+
+// Patterns returns the selected representative patterns, in feature order.
+func (c *Classifier) Patterns() []Pattern {
+	out := make([]Pattern, len(c.inner.Patterns))
+	for i, p := range c.inner.Patterns {
+		out[i] = Pattern{Class: p.Class, Values: p.Values, Support: p.Support, Freq: p.Freq}
+	}
+	return out
+}
+
+// Save serializes the trained classifier as versioned JSON, suitable for
+// shipping a trained model without its training data.
+func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
+
+// LoadClassifier deserializes a classifier previously written by Save.
+// The loaded model predicts identically to the original.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	inner, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{inner: inner}, nil
+}
+
+// PerClassParams reports the SAX parameters chosen for each class.
+func (c *Classifier) PerClassParams() map[int]SAXParams {
+	out := map[int]SAXParams{}
+	for class, p := range c.inner.PerClassParams {
+		out[class] = SAXParams{Window: p.Window, PAA: p.PAA, Alphabet: p.Alphabet}
+	}
+	return out
+}
+
+// GenerateDataset synthesizes one dataset of the built-in evaluation suite
+// (see DatasetNames) deterministically from a seed. It panics on unknown
+// names.
+func GenerateDataset(name string, seed int64) Split {
+	return fromInternalSplit(datagen.MustByName(name).Generate(seed))
+}
+
+// GenerateABP synthesizes the arterial-blood-pressure alarm dataset of the
+// paper's medical case study (§6.2).
+func GenerateABP(seed int64) Split {
+	return fromInternalSplit(datagen.ABP().Generate(seed))
+}
+
+// DatasetNames lists the built-in synthetic evaluation suite.
+func DatasetNames() []string {
+	var out []string
+	for _, g := range datagen.Suite() {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
+// LoadUCR reads a dataset in the UCR archive text format (label first,
+// comma- or whitespace-separated values, one series per line).
+func LoadUCR(r io.Reader) (Dataset, error) {
+	d, err := dataset.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(d), nil
+}
+
+// SaveUCR writes a dataset in the UCR archive text format.
+func SaveUCR(w io.Writer, d Dataset) error { return dataset.Write(w, toInternal(d)) }
+
+// ZNormalize z-normalizes every instance in place (zero mean, unit
+// standard deviation), the standard UCR preprocessing.
+func ZNormalize(d Dataset) { ts.ZNormInstance(toInternal(d)) }
+
+// Rotate returns a copy of values circularly shifted at the cut point, the
+// distortion used in the paper's rotation-invariance study (§6.1).
+func Rotate(values []float64, cut int) []float64 { return ts.Rotate(values, cut) }
+
+// conversions -------------------------------------------------------------
+
+// toInternal converts without copying the value slices.
+func toInternal(d Dataset) ts.Dataset {
+	out := make(ts.Dataset, len(d))
+	for i, in := range d {
+		out[i] = ts.Instance{Label: in.Label, Values: in.Values}
+	}
+	return out
+}
+
+func fromInternal(d ts.Dataset) Dataset {
+	out := make(Dataset, len(d))
+	for i, in := range d {
+		out[i] = Instance{Label: in.Label, Values: in.Values}
+	}
+	return out
+}
+
+func fromInternalSplit(s dataset.Split) Split {
+	return Split{Name: s.Name, Train: fromInternal(s.Train), Test: fromInternal(s.Test)}
+}
+
+func toCoreOptions(o Options) core.Options {
+	c := core.DefaultOptions()
+	if o.Gamma != 0 {
+		c.Gamma = o.Gamma
+	}
+	if o.TauPercentile != 0 {
+		c.TauPercentile = o.TauPercentile
+	}
+	c.UseMedoid = o.UseMedoid
+	c.NumerosityReduction = o.NumerosityReduction
+	c.RotationInvariant = o.RotationInvariant
+	if o.GI == GIRePair {
+		c.GI = core.GIRePair
+	}
+	switch o.Mode {
+	case ParamFixed:
+		c.Mode = core.ParamFixed
+	case ParamGrid:
+		c.Mode = core.ParamGrid
+	default:
+		c.Mode = core.ParamDIRECT
+	}
+	c.Params = sax.Params{Window: o.Params.Window, PAA: o.Params.PAA, Alphabet: o.Params.Alphabet}
+	if o.Splits != 0 {
+		c.Splits = o.Splits
+	}
+	if o.MaxEvals != 0 {
+		c.MaxEvals = o.MaxEvals
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
+}
