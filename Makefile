@@ -1,0 +1,32 @@
+# Developer targets for the RPM reproduction. `make check` is what CI
+# (and the next PR's author) should run.
+
+GO ?= go
+
+# Packages with concurrency: the race target runs them with the race
+# detector enabled (internal/parallel plus every package it fans out).
+RACE_PKGS = ./internal/core ./internal/nn ./internal/parallel ./internal/dist
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the parallel execution layer and the packages it drives.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# Parallel-stage benchmarks with the speedup metric (sequential vs
+# GOMAXPROCS), at 1 and 4 procs.
+bench:
+	$(GO) test -run xxx -bench Parallel -cpu 1,4 ./internal/core ./internal/nn
+
+check: build vet test race

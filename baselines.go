@@ -5,6 +5,7 @@ import (
 	"rpm/internal/fastshapelets"
 	"rpm/internal/learnshapelets"
 	"rpm/internal/nn"
+	"rpm/internal/parallel"
 	"rpm/internal/saxvsm"
 	"rpm/internal/shapelettransform"
 )
@@ -18,12 +19,25 @@ type Model interface {
 }
 
 // PredictAll runs any model over a dataset and returns predicted labels in
-// order.
+// order, sequentially. Use PredictAllWorkers to fan the queries out.
 func PredictAll(m Model, test Dataset) []int {
 	out := make([]int, len(test))
 	for i, in := range test {
 		out[i] = m.Predict(in.Values)
 	}
+	return out
+}
+
+// PredictAllWorkers is PredictAll with the queries fanned out over up to
+// workers goroutines (0 means every core, 1 is identical to PredictAll).
+// The model's Predict must be safe for concurrent use — every classifier
+// constructed by this package is; supply 1 for models that are not. The
+// returned labels are identical to PredictAll for any worker count.
+func PredictAllWorkers(m Model, test Dataset, workers int) []int {
+	out := make([]int, len(test))
+	parallel.For(len(test), workers, func(i int) {
+		out[i] = m.Predict(test[i].Values)
+	})
 	return out
 }
 

@@ -12,6 +12,14 @@
 //	benchtab -exp alarm             # §6.2 medical-alarm case study
 //	benchtab -exp all               # everything
 //	benchtab -exp table1 -datasets SynCBF,SynCoffee -quick -seed 7
+//	benchtab -exp table1 -workers 0 # fan out across every core
+//
+// -workers controls the harness's concurrency: datasets fan out across
+// worker goroutines and every parallel stage inside RPM and the 1NN
+// baselines uses the same bound (0 = all cores, the default; 1 = fully
+// sequential). Result values are identical for any setting; pass
+// -workers 1 when the per-method wall-clock times themselves are the
+// experiment (Table 2), since concurrent datasets share the machine.
 package main
 
 import (
@@ -28,11 +36,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for data generation and training")
 	quick := flag.Bool("quick", false, "use reduced parameter-search budgets")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: full suite)")
+	workers := flag.Int("workers", 0, "worker goroutines for dataset fan-out and RPM/1NN internals (0 = all cores, 1 = sequential)")
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
 	verbose := flag.Bool("v", true, "print per-dataset progress to stderr")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

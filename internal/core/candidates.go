@@ -5,6 +5,7 @@ import (
 
 	"rpm/internal/cluster"
 	"rpm/internal/dist"
+	"rpm/internal/parallel"
 	"rpm/internal/repair"
 	"rpm/internal/sax"
 	"rpm/internal/sequitur"
@@ -154,7 +155,12 @@ func refineRule(occs []occurrence, class int, minSupport int, opts Options) []mo
 		d[i] = make([]float64, n)
 		matchers[i] = dist.NewMatcher(occs[i].values)
 	}
-	for i := 0; i < n; i++ {
+	// The O(n²) pairwise closest-match matrix fans out by row: row i owns
+	// every cell (i, j) with j > i (and its mirror), so no cell has two
+	// writers and the matrix is identical for any worker count. The
+	// dynamic index hand-out in parallel.For load-balances the shrinking
+	// rows.
+	parallel.For(n, opts.Workers, func(i int) {
 		for j := i + 1; j < n; j++ {
 			// slide the shorter occurrence inside the longer one
 			var dd float64
@@ -166,7 +172,7 @@ func refineRule(occs []occurrence, class int, minSupport int, opts Options) []mo
 			d[i][j] = dd
 			d[j][i] = dd
 		}
-	}
+	})
 	groups := cluster.SplitRefine(d, opts.SplitMinFrac)
 	var out []motifGroup
 	for _, g := range groups {

@@ -13,8 +13,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"rpm/internal/dist"
+	"rpm/internal/parallel"
 	"rpm/internal/sax"
 	"rpm/internal/svm"
 	"rpm/internal/ts"
@@ -118,6 +120,13 @@ type Options struct {
 	VectorClassifier func(X [][]float64, y []int) VectorPredictor `json:"-"`
 	// Seed drives the parameter-search splits (default 1).
 	Seed int64
+	// Workers bounds the concurrency of every parallel stage (the
+	// transform matrix, the parameter-search cross-validation, batch
+	// prediction, and candidate pruning): 0 means use
+	// runtime.GOMAXPROCS(0), 1 forces the exact sequential path, any
+	// other value caps the worker goroutines. Results are byte-identical
+	// for every setting; see DESIGN.md "Concurrency".
+	Workers int
 }
 
 // VectorPredictor classifies vectors in the representative-pattern
@@ -168,6 +177,11 @@ type Classifier struct {
 	custom         VectorPredictor
 	opts           Options
 	tf             *transformer
+	// tfOnce guards the lazy construction of tf: Predict/Transform on a
+	// classifier that came out of Load (or was never trained) build the
+	// transformer on first use, and PredictBatch calls Predict from many
+	// goroutines, so the build must be once-only.
+	tfOnce sync.Once
 	// fallback handles the degenerate case where no patterns survive:
 	// 1-nearest-neighbor on the raw training series.
 	fallback ts.Dataset
@@ -184,15 +198,19 @@ func (c *Classifier) NumPatterns() int { return len(c.Patterns) }
 // (paper §2.1 "Time Series Transformation"). With RotationInvariant set,
 // the distance is the minimum over the series and its midpoint rotation
 // (§6.1).
+// Transform is safe for concurrent use.
 func (c *Classifier) Transform(v []float64) []float64 {
-	if c.tf == nil {
-		c.tf = newTransformer(c.Patterns, c.opts.RotationInvariant)
-	}
+	c.ensureTransformer()
 	return c.tf.apply(v)
 }
 
-func transform(v []float64, patterns []Pattern, rotInv bool) []float64 {
-	return newTransformer(patterns, rotInv).apply(v)
+// ensureTransformer builds the cached transformer exactly once, whether
+// triggered eagerly by training/Load or lazily by the first (possibly
+// concurrent) Transform call.
+func (c *Classifier) ensureTransformer() {
+	c.tfOnce.Do(func() {
+		c.tf = newTransformer(c.Patterns, c.opts.RotationInvariant)
+	})
 }
 
 // transformer caches per-pattern matchers so the pattern z-normalization
@@ -228,12 +246,16 @@ func (t *transformer) apply(v []float64) []float64 {
 	return out
 }
 
-// applyAll transforms a whole dataset.
-func (t *transformer) applyAll(d ts.Dataset) [][]float64 {
+// applyAll transforms a whole dataset on up to workers goroutines (the
+// parallel.Workers convention). This is the pattern×instance closest-match
+// matrix that dominates both training Step 3 and SVM input construction;
+// each instance writes only its own row, so the result is byte-identical
+// for every worker count.
+func (t *transformer) applyAll(d ts.Dataset, workers int) [][]float64 {
 	X := make([][]float64, len(d))
-	for i, in := range d {
-		X[i] = t.apply(in.Values)
-	}
+	parallel.For(len(d), workers, func(i int) {
+		X[i] = t.apply(d[i].Values)
+	})
 	return X
 }
 
@@ -248,17 +270,19 @@ func (c *Classifier) Predict(v []float64) int {
 	return c.model.Predict(c.Transform(v))
 }
 
-// unexported hook: training rebuilds the transformer eagerly.
-func (c *Classifier) buildTransformer() {
-	c.tf = newTransformer(c.Patterns, c.opts.RotationInvariant)
-}
-
-// PredictBatch classifies every instance of test.
+// PredictBatch classifies every instance of test, fanning the queries out
+// over Options.Workers goroutines. Each query writes only its own output
+// slot and Predict is read-only over the model, so the labels are
+// byte-identical to the sequential path. Classifiers trained with a custom
+// VectorClassifier must be goroutine-safe to use Workers != 1.
 func (c *Classifier) PredictBatch(test ts.Dataset) []int {
-	out := make([]int, len(test))
-	for i, in := range test {
-		out[i] = c.Predict(in.Values)
+	if len(c.Patterns) > 0 {
+		c.ensureTransformer() // build once, outside the worker fan-out
 	}
+	out := make([]int, len(test))
+	parallel.For(len(test), c.opts.Workers, func(i int) {
+		out[i] = c.Predict(test[i].Values)
+	})
 	return out
 }
 

@@ -3,8 +3,10 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"rpm/internal/direct"
+	"rpm/internal/parallel"
 	"rpm/internal/sax"
 	"rpm/internal/stats"
 	"rpm/internal/ts"
@@ -26,8 +28,11 @@ type evaluator struct {
 	opts    Options
 	classes []int
 	splits  []splitPair
-	cache   map[sax.Params]map[int]float64
-	evals   int
+	// mu guards cache and evals: grid mode evaluates parameter vectors
+	// from several goroutines at once.
+	mu    sync.Mutex
+	cache map[sax.Params]map[int]float64
+	evals int
 }
 
 func newEvaluator(train ts.Dataset, opts Options) *evaluator {
@@ -50,28 +55,40 @@ func newEvaluator(train ts.Dataset, opts Options) *evaluator {
 // fmeasures returns the mean per-class F-measure of the parameter vector
 // over the splits. A split where no candidate survives contributes 0 for
 // every class (the paper's pruning: such a combination cannot win).
+//
+// The splits are scored concurrently — each runs an independent full
+// mine-and-classify pipeline — and the per-split scores are folded in
+// split order, so the means are byte-identical to the sequential path.
+// Safe for concurrent callers (grid mode fans out over parameter
+// vectors); the cache is shared under e.mu.
 func (e *evaluator) fmeasures(p sax.Params) map[int]float64 {
+	e.mu.Lock()
 	if f, ok := e.cache[p]; ok {
+		e.mu.Unlock()
 		return f
 	}
-	e.evals++
-	acc := map[int]float64{}
-	for _, c := range e.classes {
-		acc[c] = 0
-	}
+	e.mu.Unlock()
 	fixed := e.opts
 	fixed.Mode = ParamFixed
-	for _, sp := range e.splits {
+	perSplit := parallel.Map(len(e.splits), e.opts.Workers, func(s int) []stats.ClassF1 {
+		sp := e.splits[s]
 		perClass := map[int]sax.Params{}
 		for _, c := range e.classes {
 			perClass[c] = p
 		}
 		clf := trainWithParams(sp.train, perClass, fixed)
 		if len(clf.Patterns) == 0 {
-			continue // contributes 0 to every class
+			return nil // contributes 0 to every class
 		}
 		preds := clf.PredictBatch(sp.validate)
-		for _, m := range stats.FMeasures(preds, sp.validate.Labels()) {
+		return stats.FMeasures(preds, sp.validate.Labels())
+	})
+	acc := map[int]float64{}
+	for _, c := range e.classes {
+		acc[c] = 0
+	}
+	for _, ms := range perSplit {
+		for _, m := range ms {
 			if _, ok := acc[m.Class]; ok {
 				acc[m.Class] += m.F1
 			}
@@ -83,7 +100,14 @@ func (e *evaluator) fmeasures(p sax.Params) map[int]float64 {
 			acc[c] /= n
 		}
 	}
+	e.mu.Lock()
+	if f, ok := e.cache[p]; ok { // lost a duplicate-evaluation race
+		e.mu.Unlock()
+		return f
+	}
+	e.evals++
 	e.cache[p] = acc
+	e.mu.Unlock()
 	return acc
 }
 
@@ -154,8 +178,15 @@ func selectParams(train ts.Dataset, opts Options) map[int]sax.Params {
 	}
 	switch opts.Mode {
 	case ParamGrid:
-		for _, p := range paramGrid(m, opts.MaxEvals) {
-			consider(p, e.fmeasures(p))
+		// The grid points are independent full evaluations (~60 of
+		// them): score them concurrently, then apply consider in grid
+		// order so ties resolve exactly as in the sequential loop.
+		grid := paramGrid(m, opts.MaxEvals)
+		scores := parallel.Map(len(grid), opts.Workers, func(i int) map[int]float64 {
+			return e.fmeasures(grid[i])
+		})
+		for i, p := range grid {
+			consider(p, scores[i])
 		}
 	default: // ParamDIRECT
 		wLo, wHi, paaLo, paaHi, aLo, aHi := paramBounds(m)

@@ -74,7 +74,7 @@ func Load(r io.Reader) (*Classifier, error) {
 			return nil, err
 		}
 		c.model = m
-		c.buildTransformer()
+		c.ensureTransformer()
 	} else if len(s.Fallback) == 0 {
 		return nil, fmt.Errorf("core: classifier has neither patterns nor fallback data")
 	}

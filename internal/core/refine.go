@@ -2,9 +2,11 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"rpm/internal/dist"
 	"rpm/internal/features"
+	"rpm/internal/parallel"
 	"rpm/internal/stats"
 	"rpm/internal/ts"
 )
@@ -20,14 +22,14 @@ func findDistinct(train ts.Dataset, cands []candidate, opts Options) []Pattern {
 		return nil
 	}
 	tau := computeTau(cands, opts.TauPercentile)
-	kept := removeSimilar(cands, tau)
+	kept := removeSimilar(cands, tau, opts.Workers)
 	if len(kept) == 0 {
 		return nil
 	}
 	// Transform the training data: feature j = closest-match distance to
 	// candidate j (Alg. 2 line 20).
 	pats := toPatterns(kept)
-	X := newTransformer(pats, opts.RotationInvariant).applyAll(train)
+	X := newTransformer(pats, opts.RotationInvariant).applyAll(train, opts.Workers)
 	selected := features.Select(X, train.Labels())
 	if len(selected) == 0 {
 		return nil
@@ -57,7 +59,14 @@ func computeTau(cands []candidate, percentile float64) float64 {
 // frequent (Alg. 2 lines 5-18). Candidates are processed in descending
 // frequency order (ties by class then support) so the outcome is
 // deterministic and frequent patterns win.
-func removeSimilar(cands []candidate, tau float64) []candidate {
+//
+// The outer loop is inherently sequential (each decision depends on the
+// kept set so far), but the O(k) closest-match scan against the kept set
+// — the inner half of the O(k²) pairwise work — fans out over workers.
+// "Is any kept candidate within τ?" is an order-independent OR, so the
+// kept set, and hence the feature space, is identical for every worker
+// count.
+func removeSimilar(cands []candidate, tau float64, workers int) []candidate {
 	order := make([]int, len(cands))
 	for i := range order {
 		order[i] = i
@@ -76,26 +85,37 @@ func removeSimilar(cands []candidate, tau float64) []candidate {
 	var keptMatchers []*dist.Matcher
 	for _, i := range order {
 		c := cands[i]
-		similar := false
-		for ki, m := range keptMatchers {
-			// match the shorter candidate inside the longer one
-			var d float64
-			if m.Len() <= len(c.values) {
-				d = m.Best(c.values).Dist
-			} else {
-				d = dist.ClosestMatch(c.values, kept[ki].values).Dist
-			}
-			if d < tau {
-				similar = true
-				break
-			}
-		}
-		if !similar {
+		if !similarToKept(c, kept, keptMatchers, tau, workers) {
 			kept = append(kept, c)
 			keptMatchers = append(keptMatchers, dist.NewMatcher(c.values))
 		}
 	}
 	return kept
+}
+
+// similarToKept reports whether c's closest-match distance to any kept
+// candidate is below τ, scanning the kept set on up to workers
+// goroutines. The atomic flag both records a hit and early-abandons the
+// remaining scans.
+func similarToKept(c candidate, kept []candidate, keptMatchers []*dist.Matcher, tau float64, workers int) bool {
+	var similar atomic.Bool
+	parallel.For(len(keptMatchers), workers, func(ki int) {
+		if similar.Load() {
+			return
+		}
+		// match the shorter candidate inside the longer one
+		m := keptMatchers[ki]
+		var d float64
+		if m.Len() <= len(c.values) {
+			d = m.Best(c.values).Dist
+		} else {
+			d = dist.ClosestMatch(c.values, kept[ki].values).Dist
+		}
+		if d < tau {
+			similar.Store(true)
+		}
+	})
+	return similar.Load()
 }
 
 func toPatterns(cands []candidate) []Pattern {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rpm/internal/parallel"
 	"rpm/internal/sax"
 	"rpm/internal/svm"
 	"rpm/internal/ts"
@@ -82,17 +83,25 @@ func HeuristicParams(m int) sax.Params {
 
 // trainWithParams runs the candidate/refine/select pipeline with known
 // per-class SAX parameters and fits the SVM (§4.3: candidates from every
-// class's own parameter set are pooled, then pruned together).
+// class's own parameter set are pooled, then pruned together). Candidate
+// generation fans out across classes on Options.Workers goroutines; the
+// per-class slices are concatenated in class order, so the pooled
+// candidate list is identical to the sequential path.
 func trainWithParams(train ts.Dataset, perClass map[int]sax.Params, opts Options) *Classifier {
 	byClass := train.ByClass()
-	var cands []candidate
-	for _, class := range train.Classes() {
-		p, ok := perClass[class]
-		if !ok {
-			p = HeuristicParams(train.MinLen())
-			perClass[class] = p
+	classes := train.Classes()
+	for _, class := range classes {
+		if _, ok := perClass[class]; !ok {
+			perClass[class] = HeuristicParams(train.MinLen())
 		}
-		cands = append(cands, findCandidates(byClass[class], class, p, opts)...)
+	}
+	perClassCands := parallel.Map(len(classes), opts.Workers, func(i int) []candidate {
+		class := classes[i]
+		return findCandidates(byClass[class], class, perClass[class], opts)
+	})
+	var cands []candidate
+	for _, cc := range perClassCands {
+		cands = append(cands, cc...)
 	}
 	patterns := findDistinct(train, cands, opts)
 	c := &Classifier{
@@ -104,8 +113,8 @@ func trainWithParams(train ts.Dataset, perClass map[int]sax.Params, opts Options
 	if len(patterns) == 0 {
 		return c
 	}
-	c.buildTransformer()
-	X := c.tf.applyAll(train)
+	c.ensureTransformer()
+	X := c.tf.applyAll(train, opts.Workers)
 	if opts.VectorClassifier != nil {
 		c.custom = opts.VectorClassifier(X, train.Labels())
 		return c

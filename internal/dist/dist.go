@@ -368,10 +368,3 @@ func LBKeogh(q, upper, lower []float64, limit float64) float64 {
 	}
 	return math.Sqrt(s)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"rpm/internal/core"
 	"rpm/internal/datagen"
+	"rpm/internal/parallel"
 	"rpm/internal/sax"
 	"rpm/internal/stats"
 )
@@ -44,16 +46,25 @@ func AblationVariants() []AblationVariant {
 	}
 }
 
-// RunAblation evaluates every variant on the configured datasets.
+// RunAblation evaluates every variant on the configured datasets,
+// fanning the datasets out over cfg.Workers goroutines. Variants within a
+// dataset stay sequential (their times are compared against each other);
+// results come back in (dataset, variant) order as before.
 func RunAblation(cfg Config, progress func(string)) ([]AblationResult, error) {
 	cfg = cfg.withDefaults()
-	var out []AblationResult
-	for _, name := range cfg.Datasets {
+	var progressMu sync.Mutex
+	type outcome struct {
+		results []AblationResult
+		err     error
+	}
+	outcomes := parallel.Map(len(cfg.Datasets), cfg.Workers, func(i int) outcome {
+		name := cfg.Datasets[i]
 		g, ok := datagen.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+			return outcome{err: fmt.Errorf("experiments: unknown dataset %q", name)}
 		}
 		split := g.Generate(cfg.Seed)
+		var results []AblationResult
 		for _, v := range AblationVariants() {
 			o := rpmOptions(cfg)
 			if o.Mode == core.ParamFixed {
@@ -63,10 +74,10 @@ func RunAblation(cfg Config, progress func(string)) ([]AblationResult, error) {
 			start := time.Now()
 			clf, err := core.Train(split.Train, o)
 			if err != nil {
-				return nil, fmt.Errorf("variant %s on %s: %w", v.Name, name, err)
+				return outcome{err: fmt.Errorf("variant %s on %s: %w", v.Name, name, err)}
 			}
 			preds := clf.PredictBatch(split.Test)
-			out = append(out, AblationResult{
+			results = append(results, AblationResult{
 				Dataset:  name,
 				Variant:  v.Name,
 				Err:      stats.ErrorRate(preds, split.Test.Labels()),
@@ -74,9 +85,19 @@ func RunAblation(cfg Config, progress func(string)) ([]AblationResult, error) {
 				Patterns: clf.NumPatterns(),
 			})
 			if progress != nil {
-				progress(fmt.Sprintf("ablation %-14s %-14s err=%.3f", name, v.Name, out[len(out)-1].Err))
+				progressMu.Lock()
+				progress(fmt.Sprintf("ablation %-14s %-14s err=%.3f", name, v.Name, results[len(results)-1].Err))
+				progressMu.Unlock()
 			}
 		}
+		return outcome{results: results}
+	})
+	var out []AblationResult
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		out = append(out, o.results...)
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"rpm/internal/bop"
@@ -20,6 +21,7 @@ import (
 	"rpm/internal/fastshapelets"
 	"rpm/internal/learnshapelets"
 	"rpm/internal/nn"
+	"rpm/internal/parallel"
 	"rpm/internal/saxvsm"
 	"rpm/internal/shapelettransform"
 	"rpm/internal/stats"
@@ -77,6 +79,14 @@ type Config struct {
 	Methods []string
 	// Datasets restricts which suite datasets run (default all).
 	Datasets []string
+	// Workers bounds the harness's concurrency: the per-dataset fan-out
+	// of RunSuite/RunTauSweep/RunAblation and, passed through to
+	// core.Options.Workers and the 1NN baselines, every parallel stage
+	// inside each run (the parallel.Workers convention: 0 ⇒ GOMAXPROCS,
+	// 1 ⇒ fully sequential). Result values are identical for any
+	// setting; reported wall-clock timings overlap when datasets run
+	// concurrently, so use Workers: 1 for paper-faithful Table 2 times.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +115,7 @@ func rpmOptions(cfg Config) core.Options {
 		o.Splits = 3
 		o.MaxEvals = 40
 	}
+	o.Workers = cfg.Workers
 	return o
 }
 
@@ -116,9 +127,13 @@ func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Dur
 	var err error
 	switch name {
 	case MethodNNED:
-		p = nn.NewED(train)
+		ed := nn.NewED(train)
+		ed.Workers = cfg.Workers
+		p = ed
 	case MethodNNDTWB:
-		p = nn.NewDTWBest(train)
+		dtw := nn.NewDTW(train, nn.BestWindowWorkers(train, 0.2, cfg.Workers))
+		dtw.Workers = cfg.Workers
+		p = dtw
 	case MethodSAXVSM:
 		p = saxvsm.TrainAuto(train, cfg.Seed)
 	case MethodFS:
@@ -141,6 +156,25 @@ func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Dur
 	return p, time.Since(start), err
 }
 
+// batchPredictor is implemented by classifiers with a native (possibly
+// parallel) batch path — RPM and the 1NN baselines.
+type batchPredictor interface {
+	PredictBatch(test ts.Dataset) []int
+}
+
+// predictAll classifies the test set, using the classifier's parallel
+// batch path when it has one and the sequential query loop otherwise.
+func predictAll(p predictor, test ts.Dataset) []int {
+	if bp, ok := p.(batchPredictor); ok {
+		return bp.PredictBatch(test)
+	}
+	preds := make([]int, len(test))
+	for i, in := range test {
+		preds[i] = p.Predict(in.Values)
+	}
+	return preds
+}
+
 // RunDataset evaluates the configured methods on one dataset split.
 func RunDataset(split dataset.Split, cfg Config) (DatasetResult, error) {
 	cfg = cfg.withDefaults()
@@ -151,10 +185,7 @@ func RunDataset(split dataset.Split, cfg Config) (DatasetResult, error) {
 			return res, fmt.Errorf("%s on %s: %w", m, split.Name, err)
 		}
 		start := time.Now()
-		preds := make([]int, len(split.Test))
-		for i, in := range split.Test {
-			preds[i] = p.Predict(in.Values)
-		}
+		preds := predictAll(p, split.Test)
 		classifyDur := time.Since(start)
 		res.Results[m] = MethodResult{
 			Err:          stats.ErrorRate(preds, split.Test.Labels()),
@@ -165,25 +196,43 @@ func RunDataset(split dataset.Split, cfg Config) (DatasetResult, error) {
 	return res, nil
 }
 
-// RunSuite evaluates the configured methods on every configured dataset.
-// progress, if non-nil, receives one line per completed dataset.
+// RunSuite evaluates the configured methods on every configured dataset,
+// fanning the datasets out over cfg.Workers goroutines (each dataset's
+// run is fully independent: its own generated split and its own trained
+// models). Results are returned in cfg.Datasets order regardless of
+// completion order. progress, if non-nil, receives one line per completed
+// dataset (serialized, but in completion order when Workers != 1).
 func RunSuite(cfg Config, progress func(string)) ([]DatasetResult, error) {
 	cfg = cfg.withDefaults()
-	var out []DatasetResult
-	for _, name := range cfg.Datasets {
+	var progressMu sync.Mutex
+	type outcome struct {
+		res DatasetResult
+		err error
+	}
+	outcomes := parallel.Map(len(cfg.Datasets), cfg.Workers, func(i int) outcome {
+		name := cfg.Datasets[i]
 		g, ok := datagen.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+			return outcome{err: fmt.Errorf("experiments: unknown dataset %q", name)}
 		}
 		split := g.Generate(cfg.Seed)
 		res, err := RunDataset(split, cfg)
 		if err != nil {
-			return nil, err
+			return outcome{err: err}
 		}
-		out = append(out, res)
 		if progress != nil {
+			progressMu.Lock()
 			progress(fmt.Sprintf("done %-18s %s", name, summarize(res, cfg.Methods)))
+			progressMu.Unlock()
 		}
+		return outcome{res: res}
+	})
+	out := make([]DatasetResult, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		out = append(out, o.res)
 	}
 	return out, nil
 }

@@ -72,10 +72,7 @@ func RunTable4(cfg Config, progress func(string)) ([]DatasetResult, error) {
 				return nil, fmt.Errorf("%s on rotated %s: %w", m, name, err)
 			}
 			start := time.Now()
-			preds := make([]int, len(rotated.Test))
-			for i, in := range rotated.Test {
-				preds[i] = p.Predict(in.Values)
-			}
+			preds := predictAll(p, rotated.Test)
 			res.Results[m] = MethodResult{
 				Err:          stats.ErrorRate(preds, rotated.Test.Labels()),
 				TrainTime:    trainDur,

@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"rpm/internal/core"
 	"rpm/internal/datagen"
+	"rpm/internal/parallel"
 	"rpm/internal/stats"
 )
 
@@ -29,13 +31,21 @@ type TauSeries struct {
 
 // RunTauSweep measures RPM's running time and error across the τ
 // percentiles for each configured dataset (paper §5.3, Table 3 / Fig. 9).
+// Datasets fan out over cfg.Workers goroutines; the τ points within one
+// dataset stay sequential so consecutive-percentile time ratios (Table 3)
+// are measured back to back. Results come back in cfg.Datasets order.
 func RunTauSweep(cfg Config, progress func(string)) ([]TauSeries, error) {
 	cfg = cfg.withDefaults()
-	var out []TauSeries
-	for _, name := range cfg.Datasets {
+	var progressMu sync.Mutex
+	type outcome struct {
+		series TauSeries
+		err    error
+	}
+	outcomes := parallel.Map(len(cfg.Datasets), cfg.Workers, func(i int) outcome {
+		name := cfg.Datasets[i]
 		g, ok := datagen.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+			return outcome{err: fmt.Errorf("experiments: unknown dataset %q", name)}
 		}
 		split := g.Generate(cfg.Seed)
 		series := TauSeries{Dataset: name}
@@ -45,7 +55,7 @@ func RunTauSweep(cfg Config, progress func(string)) ([]TauSeries, error) {
 			start := time.Now()
 			clf, err := core.Train(split.Train, o)
 			if err != nil {
-				return nil, err
+				return outcome{err: err}
 			}
 			preds := clf.PredictBatch(split.Test)
 			series.Points = append(series.Points, TauPoint{
@@ -54,10 +64,19 @@ func RunTauSweep(cfg Config, progress func(string)) ([]TauSeries, error) {
 				Time:       time.Since(start),
 			})
 		}
-		out = append(out, series)
 		if progress != nil {
+			progressMu.Lock()
 			progress("tau sweep done: " + name)
+			progressMu.Unlock()
 		}
+		return outcome{series: series}
+	})
+	out := make([]TauSeries, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		out = append(out, o.series)
 	}
 	return out, nil
 }

@@ -277,7 +277,7 @@ func scoreWords(words map[string]*wordInfo, classSizes map[int]int, cfg Config, 
 	}
 	masked := make([]byte, wordLen)
 	for r := 0; r < cfg.Projections; r++ {
-		mask := rng.Perm(wordLen)[:minInt(cfg.MaskSize, wordLen)]
+		mask := rng.Perm(wordLen)[:min(cfg.MaskSize, wordLen)]
 		groups := map[string][]string{}
 		for _, w := range keys {
 			copy(masked, w)
@@ -413,9 +413,3 @@ func (m *Model) PredictBatch(test ts.Dataset) []int {
 	return out
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -9,12 +9,18 @@ import (
 	"math"
 
 	"rpm/internal/dist"
+	"rpm/internal/parallel"
 	"rpm/internal/ts"
 )
 
 // EDClassifier is a 1-nearest-neighbor classifier under Euclidean distance.
 type EDClassifier struct {
 	train ts.Dataset
+	// Workers bounds PredictBatch's fan-out over queries (the
+	// parallel.Workers convention: 0 ⇒ GOMAXPROCS, 1 ⇒ sequential).
+	// Each query is an independent scan with its own early-abandon
+	// best-so-far, so predictions are identical for any setting.
+	Workers int
 }
 
 // NewED builds the classifier; the training data is referenced, not copied.
@@ -40,12 +46,14 @@ func (c *EDClassifier) Predict(query []float64) int {
 	return label
 }
 
-// PredictBatch classifies every instance of test.
+// PredictBatch classifies every instance of test, fanning the queries out
+// over c.Workers goroutines; the label slice is identical to the
+// sequential path.
 func (c *EDClassifier) PredictBatch(test ts.Dataset) []int {
 	out := make([]int, len(test))
-	for i, in := range test {
-		out[i] = c.Predict(in.Values)
-	}
+	parallel.For(len(test), c.Workers, func(i int) {
+		out[i] = c.Predict(test[i].Values)
+	})
 	return out
 }
 
@@ -57,6 +65,13 @@ type DTWClassifier struct {
 	window int
 	upper  [][]float64
 	lower  [][]float64
+	// Workers bounds the fan-out of PredictBatch (over queries) and of
+	// the BestWindow leave-one-out scan (over held-out instances). All
+	// LB_Keogh pruning state — the best-so-far threshold — lives per
+	// query, i.e. per worker, so predictions are identical for any
+	// setting (the parallel.Workers convention: 0 ⇒ GOMAXPROCS, 1 ⇒
+	// sequential).
+	Workers int
 }
 
 // NewDTW builds the classifier with the given Sakoe-Chiba half-width (in
@@ -113,12 +128,14 @@ func (c *DTWClassifier) predictSkip(query []float64, skip int) int {
 	return label
 }
 
-// PredictBatch classifies every instance of test.
+// PredictBatch classifies every instance of test, fanning the queries out
+// over c.Workers goroutines; the label slice is identical to the
+// sequential path.
 func (c *DTWClassifier) PredictBatch(test ts.Dataset) []int {
 	out := make([]int, len(test))
-	for i, in := range test {
-		out[i] = c.Predict(in.Values)
-	}
+	parallel.For(len(test), c.Workers, func(i int) {
+		out[i] = c.Predict(test[i].Values)
+	})
 	return out
 }
 
@@ -126,8 +143,18 @@ func (c *DTWClassifier) PredictBatch(test ts.Dataset) []int {
 // leave-one-out cross-validation over windows from 0 to maxFrac of the
 // series length in 1% steps, as is standard for the UCR baselines. Ties
 // prefer the smaller window (cheaper and less prone to pathological
-// warping). maxFrac <= 0 defaults to 0.2 (20%).
+// warping). maxFrac <= 0 defaults to 0.2 (20%). It uses every core; use
+// BestWindowWorkers to bound the fan-out.
 func BestWindow(train ts.Dataset, maxFrac float64) int {
+	return BestWindowWorkers(train, maxFrac, 0)
+}
+
+// BestWindowWorkers is BestWindow with an explicit worker bound for the
+// leave-one-out scan (the dominant cost: |train|² band-constrained DTWs
+// per window). Each held-out instance is an independent 1NN query, and
+// the correct-count is an integer sum, so the selected window is
+// identical for any worker count.
+func BestWindowWorkers(train ts.Dataset, maxFrac float64, workers int) int {
 	if len(train) == 0 {
 		panic("nn: empty training set")
 	}
@@ -144,12 +171,15 @@ func BestWindow(train ts.Dataset, maxFrac float64) int {
 	bestAcc := -1.0
 	for w := 0; w <= maxW; w += step {
 		c := NewDTW(train, w)
-		correct := 0
-		for i, in := range train {
-			if c.predictSkip(in.Values, i) == in.Label {
-				correct++
-			}
-		}
+		correct := parallel.MapReduce(len(train), workers,
+			func(i int) int {
+				if c.predictSkip(train[i].Values, i) == train[i].Label {
+					return 1
+				}
+				return 0
+			},
+			0,
+			func(acc, v int) int { return acc + v })
 		acc := float64(correct) / float64(len(train))
 		if acc > bestAcc {
 			bestAcc = acc

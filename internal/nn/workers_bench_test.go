@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"testing"
+	"time"
+
+	"rpm/internal/datagen"
+)
+
+// BenchmarkNNDTWParallel measures 1NN-DTW batch classification (LB_Keogh
+// pruning + early-abandoning DTW per query) at GOMAXPROCS workers,
+// reporting the speedup over the exact sequential path. Run with
+// `-cpu 1,4` to see the scaling.
+func BenchmarkNNDTWParallel(b *testing.B) {
+	s := datagen.MustByName("SynCBF").Generate(1)
+	c := NewDTW(s.Train, 8)
+	const reps = 3
+	c.Workers = 1
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		c.PredictBatch(s.Test)
+	}
+	seq := time.Since(start) / reps
+	c.Workers = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PredictBatch(s.Test)
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		par := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+	}
+}
+
+// BenchmarkNNEDParallel is the Euclidean counterpart.
+func BenchmarkNNEDParallel(b *testing.B) {
+	s := datagen.MustByName("SynCBF").Generate(1)
+	c := NewED(s.Train)
+	const reps = 3
+	c.Workers = 1
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		c.PredictBatch(s.Test)
+	}
+	seq := time.Since(start) / reps
+	c.Workers = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PredictBatch(s.Test)
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		par := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+	}
+}

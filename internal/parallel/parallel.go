@@ -1,0 +1,117 @@
+// Package parallel is the repo's tiny, stdlib-only worker-pool layer. It
+// exists because the paper's headline claim is *efficiency* (§5.3) and the
+// RPM pipeline's hot loops — the pattern×instance transform matrix, the
+// per-parameter-vector cross-validation, the 1NN baselines, and the
+// pairwise candidate distances — are all embarrassingly parallel: every
+// iteration writes only its own per-index result slot.
+//
+// Determinism contract: every helper in this package produces output that
+// is byte-identical to the sequential loop it replaces, for any worker
+// count. For distributes loop *indices*, not accumulators, so callers keep
+// per-index result slots and fold them in index order afterwards (or use
+// Map / MapReduce, which do exactly that). Nothing in this package ever
+// reorders floating-point accumulation.
+//
+// Worker-count convention, shared by every Workers knob in the repo:
+// n <= 0 means runtime.GOMAXPROCS(0) (use the whole machine), 1 means the
+// exact sequential path (no goroutines are spawned at all), and any other
+// value bounds the number of concurrent goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Workers-style option to a concrete worker count:
+// n <= 0 ⇒ runtime.GOMAXPROCS(0), otherwise n.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most Workers(workers)
+// concurrent goroutines. With workers == 1 (or n < 2) it degrades to the
+// plain sequential loop on the calling goroutine — no goroutines, no
+// channels, no synchronization — so `Workers: 1` really is the exact
+// sequential path.
+//
+// Indices are handed out dynamically (an atomic counter), which
+// load-balances uneven iterations such as early-abandoning distance
+// computations. fn must confine its writes to per-index state.
+//
+// If any fn panics, the first panic value is re-raised on the calling
+// goroutine after all workers have stopped; remaining indices are
+// abandoned.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		once     sync.Once
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicVal = r })
+					panicked.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// Map computes fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. The ordered-map half of the
+// map-reduce helper pair.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapReduce computes fn(i) for every index in parallel, then folds the
+// results strictly in index order: acc = reduce(acc, fn(0)), then fn(1),
+// and so on. Because the fold is sequential and ordered, floating-point
+// reductions are byte-identical to the sequential loop regardless of the
+// worker count — the property the core pipeline's determinism guarantee
+// rests on.
+func MapReduce[T, R any](n, workers int, fn func(i int) T, init R, reduce func(acc R, v T) R) R {
+	vals := Map(n, workers, fn)
+	acc := init
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc
+}

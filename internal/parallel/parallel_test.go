@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		n := 137
+		counts := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForWorkersExceedItems(t *testing.T) {
+	n := 3
+	counts := make([]int32, n)
+	For(n, 16, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestForSequentialInOrder pins the workers==1 contract: the exact
+// sequential path, i.e. indices strictly ascending with no concurrency.
+func TestForSequentialInOrder(t *testing.T) {
+	var seen []int
+	For(100, 1, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("sequential order broken at %d: %v", i, v)
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("visited %d of 100", len(seen))
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: unexpected panic value %v", workers, r)
+				}
+			}()
+			For(50, workers, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		got := Map(10, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: Map[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if got := Map(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map over empty range returned %v", got)
+	}
+}
+
+// TestMapReduceOrderedFold asserts the fold visits results in index order
+// — the property the float-determinism guarantee depends on.
+func TestMapReduceOrderedFold(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var seen []int
+		MapReduce(20, workers,
+			func(i int) int { return i },
+			0,
+			func(acc, v int) int {
+				seen = append(seen, v)
+				return acc + v
+			})
+		for i, v := range seen {
+			if v != i {
+				t.Fatalf("workers=%d: fold order %v", workers, seen)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", Workers(0))
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d", Workers(-1))
+	}
+	if Workers(3) != 3 {
+		t.Fatalf("Workers(3) = %d", Workers(3))
+	}
+}

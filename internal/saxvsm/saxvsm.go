@@ -163,7 +163,7 @@ func SelectParams(train ts.Dataset, seed int64) sax.Params {
 		}
 	}
 	if len(grid) == 0 {
-		return sax.Params{Window: m, PAA: minInt(4, m), Alphabet: 4}
+		return sax.Params{Window: m, PAA: min(4, m), Alphabet: 4}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	k := 5
@@ -243,9 +243,3 @@ func (m *Model) TopWords(class, n int) []string {
 	return out
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -121,6 +121,14 @@ type Options struct {
 	MaxEvals int
 	// Seed makes training deterministic (default 1).
 	Seed int64
+	// Workers bounds the concurrency of training's parallel stages (the
+	// pattern×instance transform matrix, the parameter-search
+	// cross-validation, candidate pruning) and of PredictBatch: 0 means
+	// use every core (runtime.GOMAXPROCS), 1 forces the exact sequential
+	// path, any other value caps the worker goroutines. Results are
+	// byte-identical for every setting — Workers trades wall-clock time
+	// only (see DESIGN.md "Concurrency").
+	Workers int
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -308,5 +316,6 @@ func toCoreOptions(o Options) core.Options {
 	if o.Seed != 0 {
 		c.Seed = o.Seed
 	}
+	c.Workers = o.Workers
 	return c
 }
