@@ -7,7 +7,10 @@ GO ?= go
 # detector enabled (internal/parallel plus every package it fans out).
 RACE_PKGS = ./internal/core ./internal/nn ./internal/parallel ./internal/dist
 
-.PHONY: all build test race vet bench check
+# Seconds of fuzzing per target in `make fuzz`.
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet bench fuzz check
 
 all: check
 
@@ -29,4 +32,11 @@ vet:
 bench:
 	$(GO) test -run xxx -bench Parallel -cpu 1,4 ./internal/core ./internal/nn
 
-check: build vet test race
+# Boundary fuzzers: arbitrary bytes into the UCR reader and the model
+# loader must yield an error or a working result, never a panic. One
+# target per invocation (a Go fuzzing constraint).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDatasetRead -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run xxx -fuzz FuzzLoadClassifier -fuzztime $(FUZZTIME) .
+
+check: build vet test race fuzz

@@ -1,6 +1,8 @@
 package rpm
 
 import (
+	"context"
+
 	"rpm/internal/bop"
 	"rpm/internal/fastshapelets"
 	"rpm/internal/learnshapelets"
@@ -41,46 +43,101 @@ func PredictAllWorkers(m Model, test Dataset, workers int) []int {
 	return out
 }
 
+// PredictAllContext is PredictAllWorkers with cooperative cancellation
+// and panic containment: once ctx is done no further query is scheduled
+// and ctx.Err() is returned; a panicking model surfaces as ErrInternal
+// instead of crashing the caller. With a non-canceled ctx the labels are
+// identical to PredictAll for any worker count.
+func PredictAllContext(ctx context.Context, m Model, test Dataset, workers int) ([]int, error) {
+	const op = "PredictAll"
+	out := make([]int, len(test))
+	err := guard(op, func() error {
+		return parallel.ForCtx(ctx, len(test), workers, func(i int) {
+			out[i] = m.Predict(test[i].Values)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// baselineModel validates the training set shared by every baseline
+// constructor (non-empty, non-empty finite series; a single class is
+// allowed — 1NN and frequency baselines remain well defined) and
+// contains any panic escaping the baseline's trainer.
+func baselineModel(op string, train Dataset, build func() Model) (Model, error) {
+	if err := validateTrainingSet(op, train, 1, false); err != nil {
+		return nil, err
+	}
+	var m Model
+	err := guard(op, func() error {
+		m = build()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // NewNNEuclidean builds the 1-nearest-neighbor Euclidean baseline (NN-ED).
-func NewNNEuclidean(train Dataset) Model { return nn.NewED(toInternal(train)) }
+// The training set must be non-empty with finite, non-empty series.
+func NewNNEuclidean(train Dataset) (Model, error) {
+	return baselineModel("NewNNEuclidean", train, func() Model { return nn.NewED(toInternal(train)) })
+}
 
 // NewNNDTWBest builds the 1-nearest-neighbor DTW baseline with the best
 // warping window learned from the training data by leave-one-out
 // cross-validation (NN-DTWB).
-func NewNNDTWBest(train Dataset) Model { return nn.NewDTWBest(toInternal(train)) }
+func NewNNDTWBest(train Dataset) (Model, error) {
+	return baselineModel("NewNNDTWBest", train, func() Model { return nn.NewDTWBest(toInternal(train)) })
+}
 
 // NewNNDTW builds a 1NN-DTW classifier with a fixed Sakoe-Chiba half-width.
-func NewNNDTW(train Dataset, window int) Model { return nn.NewDTW(toInternal(train), window) }
+func NewNNDTW(train Dataset, window int) (Model, error) {
+	return baselineModel("NewNNDTW", train, func() Model { return nn.NewDTW(toInternal(train), window) })
+}
 
 // TrainSAXVSM trains the SAX-VSM baseline with cross-validated parameter
 // selection.
-func TrainSAXVSM(train Dataset, seed int64) Model {
-	return saxvsm.TrainAuto(toInternal(train), seed)
+func TrainSAXVSM(train Dataset, seed int64) (Model, error) {
+	return baselineModel("TrainSAXVSM", train, func() Model {
+		return saxvsm.TrainAuto(toInternal(train), seed)
+	})
 }
 
 // TrainFastShapelets trains the Fast Shapelets decision-tree baseline.
-func TrainFastShapelets(train Dataset, seed int64) Model {
-	return fastshapelets.Train(toInternal(train), fastshapelets.Config{Seed: seed})
+func TrainFastShapelets(train Dataset, seed int64) (Model, error) {
+	return baselineModel("TrainFastShapelets", train, func() Model {
+		return fastshapelets.Train(toInternal(train), fastshapelets.Config{Seed: seed})
+	})
 }
 
 // TrainLearningShapelets trains the Learning Shapelets baseline (gradient
 // descent over shapelets and classifier weights jointly).
-func TrainLearningShapelets(train Dataset, seed int64) Model {
-	return learnshapelets.Train(toInternal(train), learnshapelets.Config{Seed: seed})
+func TrainLearningShapelets(train Dataset, seed int64) (Model, error) {
+	return baselineModel("TrainLearningShapelets", train, func() Model {
+		return learnshapelets.Train(toInternal(train), learnshapelets.Config{Seed: seed})
+	})
 }
 
 // TrainBagOfPatterns trains the Bag-of-Patterns classifier (Lin et al.
 // 2012): SAX-word histograms compared by 1-nearest-neighbor, with
 // cross-validated SAX parameter selection.
-func TrainBagOfPatterns(train Dataset, seed int64) Model {
-	t := toInternal(train)
-	return bop.Train(t, saxvsm.SelectParams(t, seed))
+func TrainBagOfPatterns(train Dataset, seed int64) (Model, error) {
+	return baselineModel("TrainBagOfPatterns", train, func() Model {
+		t := toInternal(train)
+		return bop.Train(t, saxvsm.SelectParams(t, seed))
+	})
 }
 
 // TrainShapeletTransform trains the Shapelet Transform classifier (Lines
 // et al. 2012), RPM's closest methodological relative from the paper's
 // related work: top-K shapelets by information gain, distance transform,
 // linear SVM.
-func TrainShapeletTransform(train Dataset, seed int64) Model {
-	return shapelettransform.Train(toInternal(train), shapelettransform.Config{Seed: seed})
+func TrainShapeletTransform(train Dataset, seed int64) (Model, error) {
+	return baselineModel("TrainShapeletTransform", train, func() Model {
+		return shapelettransform.Train(toInternal(train), shapelettransform.Config{Seed: seed})
+	})
 }

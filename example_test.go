@@ -86,7 +86,10 @@ func ExampleClassifier_Save() {
 // the shared Model interface.
 func ExamplePredictAll() {
 	split := rpm.GenerateDataset("SynItalyPower", 1)
-	nn := rpm.NewNNEuclidean(split.Train)
+	nn, err := rpm.NewNNEuclidean(split.Train)
+	if err != nil {
+		panic(err)
+	}
 	preds := rpm.PredictAll(nn, split.Test)
 	fmt.Println("predictions:", len(preds) == len(split.Test))
 	// Output:

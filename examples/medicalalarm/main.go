@@ -31,7 +31,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nnED := rpm.NewNNEuclidean(split.Train)
+	nnED, err := rpm.NewNNEuclidean(split.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\nmethod            error\n")
 	fmt.Printf("NN-ED             %.3f\n", errOf(rpm.PredictAll(nnED, split.Test), split.Test))

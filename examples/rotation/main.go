@@ -43,8 +43,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nnED := rpm.NewNNEuclidean(split.Train)
-	nnDTW := rpm.NewNNDTWBest(split.Train)
+	nnED, err := rpm.NewNNEuclidean(split.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nnDTW, err := rpm.NewNNDTWBest(split.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("test set               NN-ED   NN-DTWB  RPM      RPM(rot-inv)")
 	fmt.Printf("clean                  %.3f   %.3f    %.3f    %.3f\n",

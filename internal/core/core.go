@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -259,9 +260,15 @@ func (t *transformer) applyAll(d ts.Dataset, workers int) [][]float64 {
 	return X
 }
 
-// Predict classifies one series.
+// Predict classifies one series. It is total over its input: an empty or
+// degenerate series (shorter than every pattern window, constant,
+// non-finite) still yields a deterministic label — the closest-match
+// kernel slides the shorter of (pattern, series) inside the longer one
+// and reports +Inf only for empty input, and the SVM argmax breaks ties
+// toward the smaller label. Callers that want degenerate inputs rejected
+// instead should validate first (the public rpm façade does).
 func (c *Classifier) Predict(v []float64) int {
-	if len(c.Patterns) == 0 {
+	if len(c.Patterns) == 0 || len(v) == 0 {
 		return c.predictFallback(v)
 	}
 	if c.custom != nil {
@@ -284,6 +291,23 @@ func (c *Classifier) PredictBatch(test ts.Dataset) []int {
 		out[i] = c.Predict(test[i].Values)
 	})
 	return out
+}
+
+// PredictBatchContext is PredictBatch with cooperative cancellation:
+// once ctx is done no further query is scheduled, in-flight queries
+// drain, and ctx.Err() is returned. With a non-canceled ctx the labels
+// are byte-identical to PredictBatch for any Workers value.
+func (c *Classifier) PredictBatchContext(ctx context.Context, test ts.Dataset) ([]int, error) {
+	if len(c.Patterns) > 0 {
+		c.ensureTransformer() // build once, outside the worker fan-out
+	}
+	out := make([]int, len(test))
+	if err := parallel.ForCtx(ctx, len(test), c.opts.Workers, func(i int) {
+		out[i] = c.Predict(test[i].Values)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // predictFallback is 1NN-ED over the raw training set, used only when the

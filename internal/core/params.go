@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -61,28 +62,35 @@ func newEvaluator(train ts.Dataset, opts Options) *evaluator {
 // split order, so the means are byte-identical to the sequential path.
 // Safe for concurrent callers (grid mode fans out over parameter
 // vectors); the cache is shared under e.mu.
-func (e *evaluator) fmeasures(p sax.Params) map[int]float64 {
+//
+// Cancellation: when ctx is done, fmeasures stops scheduling splits,
+// drains, and returns (nil, ctx.Err()); a partially evaluated vector is
+// never cached, so a later retry re-evaluates it from scratch.
+func (e *evaluator) fmeasures(ctx context.Context, p sax.Params) (map[int]float64, error) {
 	e.mu.Lock()
 	if f, ok := e.cache[p]; ok {
 		e.mu.Unlock()
-		return f
+		return f, nil
 	}
 	e.mu.Unlock()
 	fixed := e.opts
 	fixed.Mode = ParamFixed
-	perSplit := parallel.Map(len(e.splits), e.opts.Workers, func(s int) []stats.ClassF1 {
+	perSplit, err := parallel.MapCtx(ctx, len(e.splits), e.opts.Workers, func(s int) []stats.ClassF1 {
 		sp := e.splits[s]
 		perClass := map[int]sax.Params{}
 		for _, c := range e.classes {
 			perClass[c] = p
 		}
-		clf := trainWithParams(sp.train, perClass, fixed)
-		if len(clf.Patterns) == 0 {
-			return nil // contributes 0 to every class
+		clf, err := trainWithParams(ctx, sp.train, perClass, fixed)
+		if err != nil || len(clf.Patterns) == 0 {
+			return nil // canceled or no candidate: contributes 0 to every class
 		}
 		preds := clf.PredictBatch(sp.validate)
 		return stats.FMeasures(preds, sp.validate.Labels())
 	})
+	if err != nil {
+		return nil, err
+	}
 	acc := map[int]float64{}
 	for _, c := range e.classes {
 		acc[c] = 0
@@ -103,12 +111,12 @@ func (e *evaluator) fmeasures(p sax.Params) map[int]float64 {
 	e.mu.Lock()
 	if f, ok := e.cache[p]; ok { // lost a duplicate-evaluation race
 		e.mu.Unlock()
-		return f
+		return f, nil
 	}
 	e.evals++
 	e.cache[p] = acc
 	e.mu.Unlock()
-	return acc
+	return acc, nil
 }
 
 // paramBounds returns the search box for series of length m: window in
@@ -159,7 +167,14 @@ func clampInt(v, lo, hi int) int {
 
 // selectParams learns the best SAX parameters per class with either the
 // exhaustive grid (Algorithm 3) or per-class DIRECT searches (§4.2).
-func selectParams(train ts.Dataset, opts Options) map[int]sax.Params {
+//
+// Cancellation: both modes observe ctx at parameter-evaluation
+// granularity. Grid mode stops scheduling grid points once ctx is done;
+// DIRECT's objective short-circuits to the worst value for every sample
+// after cancellation (the optimizer's own evaluation sequence is serial
+// and cheap once the objective no longer mines), so selectParams returns
+// ctx.Err() within roughly one full evaluation of the cancel.
+func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]sax.Params, error) {
 	e := newEvaluator(train, opts)
 	m := train.MinLen()
 	bestF := map[int]float64{}
@@ -182,9 +197,13 @@ func selectParams(train ts.Dataset, opts Options) map[int]sax.Params {
 		// them): score them concurrently, then apply consider in grid
 		// order so ties resolve exactly as in the sequential loop.
 		grid := paramGrid(m, opts.MaxEvals)
-		scores := parallel.Map(len(grid), opts.Workers, func(i int) map[int]float64 {
-			return e.fmeasures(grid[i])
+		scores, err := parallel.MapCtx(ctx, len(grid), opts.Workers, func(i int) map[int]float64 {
+			fs, _ := e.fmeasures(ctx, grid[i]) // nil on cancel; MapCtx reports it
+			return fs
 		})
+		if err != nil {
+			return nil, err
+		}
 		for i, p := range grid {
 			consider(p, scores[i])
 		}
@@ -195,14 +214,26 @@ func selectParams(train ts.Dataset, opts Options) map[int]sax.Params {
 		for _, c := range e.classes {
 			class := c
 			direct.Minimize(func(x []float64) float64 {
+				if ctx.Err() != nil {
+					return 1 // worst objective; evaluation is now O(1)
+				}
 				p := clampParams(x, m)
-				fs := e.fmeasures(p)
+				fs, err := e.fmeasures(ctx, p)
+				if err != nil {
+					return 1
+				}
 				consider(p, fs)
 				return 1 - fs[class]
 			}, lo, hi, direct.Options{MaxEvals: opts.MaxEvals})
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return bestP
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return bestP, nil
 }
 
 // paramGrid builds the exhaustive grid, thinned evenly if it exceeds the

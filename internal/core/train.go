@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -14,6 +15,19 @@ import (
 // should be per-instance z-normalized (the UCR convention); the SAX
 // transform z-normalizes windows regardless.
 func Train(train ts.Dataset, opts Options) (*Classifier, error) {
+	return TrainContext(context.Background(), train, opts)
+}
+
+// TrainContext is Train with cooperative cancellation: when ctx is
+// canceled (or its deadline passes) mid-search, training stops scheduling
+// new work — within one parameter evaluation for the grid and DIRECT
+// searches — drains its workers, and returns ctx.Err(). With a ctx that
+// is never canceled the trained classifier is byte-identical to Train's
+// for any Options.Workers value.
+func TrainContext(ctx context.Context, train ts.Dataset, opts Options) (*Classifier, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(train) == 0 {
 		return nil, errors.New("core: empty training set")
 	}
@@ -42,11 +56,18 @@ func Train(train ts.Dataset, opts Options) (*Classifier, error) {
 			perClass[c] = p
 		}
 	case ParamGrid, ParamDIRECT:
-		perClass = selectParams(train, opts)
+		var err error
+		perClass, err = selectParams(ctx, train, opts)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown parameter mode %v", opts.Mode)
 	}
-	c := trainWithParams(train, perClass, opts)
+	c, err := trainWithParams(ctx, train, perClass, opts)
+	if err != nil {
+		return nil, err
+	}
 	if len(c.Patterns) == 0 && opts.Mode != ParamFixed {
 		// The searched parameters can fail to generalize from the
 		// evaluation splits to the full training set (tiny datasets).
@@ -56,7 +77,11 @@ func Train(train ts.Dataset, opts Options) (*Classifier, error) {
 		for _, cl := range classes {
 			retry[cl] = HeuristicParams(train.MinLen())
 		}
-		if c2 := trainWithParams(train, retry, opts); len(c2.Patterns) > 0 {
+		c2, err := trainWithParams(ctx, train, retry, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(c2.Patterns) > 0 {
 			return c2, nil
 		}
 	}
@@ -86,8 +111,11 @@ func HeuristicParams(m int) sax.Params {
 // class's own parameter set are pooled, then pruned together). Candidate
 // generation fans out across classes on Options.Workers goroutines; the
 // per-class slices are concatenated in class order, so the pooled
-// candidate list is identical to the sequential path.
-func trainWithParams(train ts.Dataset, perClass map[int]sax.Params, opts Options) *Classifier {
+// candidate list is identical to the sequential path. The only possible
+// error is ctx.Err(): cancellation is checked between pipeline stages
+// (and inside the per-class fan-out), so a canceled context aborts
+// between stages rather than mid-computation.
+func trainWithParams(ctx context.Context, train ts.Dataset, perClass map[int]sax.Params, opts Options) (*Classifier, error) {
 	byClass := train.ByClass()
 	classes := train.Classes()
 	for _, class := range classes {
@@ -95,15 +123,21 @@ func trainWithParams(train ts.Dataset, perClass map[int]sax.Params, opts Options
 			perClass[class] = HeuristicParams(train.MinLen())
 		}
 	}
-	perClassCands := parallel.Map(len(classes), opts.Workers, func(i int) []candidate {
+	perClassCands, err := parallel.MapCtx(ctx, len(classes), opts.Workers, func(i int) []candidate {
 		class := classes[i]
 		return findCandidates(byClass[class], class, perClass[class], opts)
 	})
+	if err != nil {
+		return nil, err
+	}
 	var cands []candidate
 	for _, cc := range perClassCands {
 		cands = append(cands, cc...)
 	}
 	patterns := findDistinct(train, cands, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c := &Classifier{
 		Patterns:       patterns,
 		PerClassParams: perClass,
@@ -111,18 +145,21 @@ func trainWithParams(train ts.Dataset, perClass map[int]sax.Params, opts Options
 		fallback:       train,
 	}
 	if len(patterns) == 0 {
-		return c
+		return c, nil
 	}
 	c.ensureTransformer()
 	X := c.tf.applyAll(train, opts.Workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.VectorClassifier != nil {
 		c.custom = opts.VectorClassifier(X, train.Labels())
-		return c
+		return c, nil
 	}
 	cfg := opts.SVM
 	if cfg.Seed == 0 {
 		cfg.Seed = opts.Seed
 	}
 	c.model = svm.Train(X, train.Labels(), cfg)
-	return c
+	return c, nil
 }

@@ -44,14 +44,52 @@ func (s Split) Length() int {
 	return len(s.Train[0].Values)
 }
 
-// Read parses UCR-format instances from r. Labels may be written as
-// floating-point numbers (several UCR files use "1.0000000e+00"); they are
-// rounded to the nearest integer.
+// ReadOptions tunes the strictness of Read. The zero value is the strict
+// default: every row must have the same number of values, every value and
+// label must be finite, and a row may hold at most DefaultMaxLineValues
+// observations — malformed or hostile files fail at parse time with a
+// line-numbered error instead of panicking later inside the distance
+// kernels.
+type ReadOptions struct {
+	// AllowVariableLength accepts rows with differing numbers of values
+	// (for variable-length collections). The strict default rejects
+	// ragged datasets, the UCR convention.
+	AllowVariableLength bool
+	// MaxLineValues caps the number of observations per row; 0 means
+	// DefaultMaxLineValues. The cap bounds memory on hostile input.
+	MaxLineValues int
+}
+
+// DefaultMaxLineValues is the per-row observation cap applied when
+// ReadOptions.MaxLineValues is 0 (the longest UCR series is ~3k points;
+// 2^20 leaves three orders of magnitude of headroom).
+const DefaultMaxLineValues = 1 << 20
+
+// maxLabel bounds the magnitude of a parsed class label so the
+// float→int conversion is always well defined.
+const maxLabel = 1 << 31
+
+// Read parses UCR-format instances from r with the strict default
+// options (equal-length rows, finite values only). Labels may be written
+// as floating-point numbers (several UCR files use "1.0000000e+00"); they
+// are rounded to the nearest integer.
 func Read(r io.Reader) (ts.Dataset, error) {
+	return ReadWith(r, ReadOptions{})
+}
+
+// ReadWith parses UCR-format instances from r under the given options.
+// It never panics: any malformed input yields an error naming the first
+// offending line.
+func ReadWith(r io.Reader, opts ReadOptions) (ts.Dataset, error) {
+	maxVals := opts.MaxLineValues
+	if maxVals <= 0 {
+		maxVals = DefaultMaxLineValues
+	}
 	var out ts.Dataset
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	lineNo := 0
+	wantLen := -1
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -62,9 +100,15 @@ func Read(r io.Reader) (ts.Dataset, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("dataset: line %d: need a label and at least one value", lineNo)
 		}
+		if len(fields)-1 > maxVals {
+			return nil, fmt.Errorf("dataset: line %d: %d values exceed the per-line cap %d", lineNo, len(fields)-1, maxVals)
+		}
 		lf, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		if math.IsNaN(lf) || math.IsInf(lf, 0) || lf < -maxLabel || lf > maxLabel {
+			return nil, fmt.Errorf("dataset: line %d: non-finite or out-of-range label %q", lineNo, fields[0])
 		}
 		values := make([]float64, len(fields)-1)
 		for i, f := range fields[1:] {
@@ -72,7 +116,17 @@ func Read(r io.Reader) (ts.Dataset, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: bad value %q: %w", lineNo, f, err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: line %d: non-finite value %q", lineNo, f)
+			}
 			values[i] = v
+		}
+		if !opts.AllowVariableLength {
+			if wantLen < 0 {
+				wantLen = len(values)
+			} else if len(values) != wantLen {
+				return nil, fmt.Errorf("dataset: line %d: ragged row: %d values, want %d (set ReadOptions.AllowVariableLength for variable-length data)", lineNo, len(values), wantLen)
+			}
 		}
 		out = append(out, ts.Instance{Label: int(math.Round(lf)), Values: values})
 	}

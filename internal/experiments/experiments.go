@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -87,11 +88,21 @@ type Config struct {
 	// setting; reported wall-clock timings overlap when datasets run
 	// concurrently, so use Workers: 1 for paper-faithful Table 2 times.
 	Workers int
+	// Context, when non-nil, bounds the whole run: RunSuite stops
+	// scheduling datasets, the RPM parameter search and the NN-DTWB
+	// window sweep stop scheduling evaluations, and the harness returns
+	// Context.Err(). nil means context.Background() (never canceled).
+	// With a non-canceled context, results are identical to a run
+	// without one.
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Context == nil {
+		c.Context = context.Background()
 	}
 	if len(c.Methods) == 0 {
 		c.Methods = AllMethods()
@@ -120,9 +131,15 @@ func rpmOptions(cfg Config) core.Options {
 }
 
 // TrainMethod trains one named classifier and returns it with the elapsed
-// training time.
+// training time. cfg.Context cancels the two long-running searches (the
+// RPM parameter search, the NN-DTWB window sweep) mid-flight; the other
+// baselines are checked before training starts.
 func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Duration, error) {
+	cfg = cfg.withDefaults()
 	start := time.Now()
+	if err := cfg.Context.Err(); err != nil {
+		return nil, time.Since(start), err
+	}
 	var p predictor
 	var err error
 	switch name {
@@ -131,7 +148,11 @@ func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Dur
 		ed.Workers = cfg.Workers
 		p = ed
 	case MethodNNDTWB:
-		dtw := nn.NewDTW(train, nn.BestWindowWorkers(train, 0.2, cfg.Workers))
+		w, werr := nn.BestWindowCtx(cfg.Context, train, 0.2, cfg.Workers)
+		if werr != nil {
+			return nil, time.Since(start), werr
+		}
+		dtw := nn.NewDTW(train, w)
 		dtw.Workers = cfg.Workers
 		p = dtw
 	case MethodSAXVSM:
@@ -145,7 +166,7 @@ func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Dur
 		}
 		p = learnshapelets.Train(train, lsCfg)
 	case MethodRPM:
-		p, err = core.Train(train, rpmOptions(cfg))
+		p, err = core.TrainContext(cfg.Context, train, rpmOptions(cfg))
 	case MethodST:
 		p = shapelettransform.Train(train, shapelettransform.Config{Seed: cfg.Seed})
 	case MethodBOP:
@@ -176,10 +197,14 @@ func predictAll(p predictor, test ts.Dataset) []int {
 }
 
 // RunDataset evaluates the configured methods on one dataset split.
+// cfg.Context aborts between (and, for RPM and NN-DTWB, inside) methods.
 func RunDataset(split dataset.Split, cfg Config) (DatasetResult, error) {
 	cfg = cfg.withDefaults()
 	res := DatasetResult{Name: split.Name, Results: map[string]MethodResult{}}
 	for _, m := range cfg.Methods {
+		if err := cfg.Context.Err(); err != nil {
+			return res, err
+		}
 		p, trainDur, err := TrainMethod(m, split.Train, cfg)
 		if err != nil {
 			return res, fmt.Errorf("%s on %s: %w", m, split.Name, err)
@@ -209,7 +234,7 @@ func RunSuite(cfg Config, progress func(string)) ([]DatasetResult, error) {
 		res DatasetResult
 		err error
 	}
-	outcomes := parallel.Map(len(cfg.Datasets), cfg.Workers, func(i int) outcome {
+	outcomes, err := parallel.MapCtx(cfg.Context, len(cfg.Datasets), cfg.Workers, func(i int) outcome {
 		name := cfg.Datasets[i]
 		g, ok := datagen.ByName(name)
 		if !ok {
@@ -227,6 +252,9 @@ func RunSuite(cfg Config, progress func(string)) ([]DatasetResult, error) {
 		}
 		return outcome{res: res}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]DatasetResult, 0, len(outcomes))
 	for _, o := range outcomes {
 		if o.err != nil {

@@ -6,6 +6,7 @@
 package nn
 
 import (
+	"context"
 	"math"
 
 	"rpm/internal/dist"
@@ -55,6 +56,18 @@ func (c *EDClassifier) PredictBatch(test ts.Dataset) []int {
 		out[i] = c.Predict(test[i].Values)
 	})
 	return out
+}
+
+// PredictBatchContext is PredictBatch with cooperative cancellation: once
+// ctx is done no further query is scheduled and ctx.Err() is returned.
+func (c *EDClassifier) PredictBatchContext(ctx context.Context, test ts.Dataset) ([]int, error) {
+	out := make([]int, len(test))
+	if err := parallel.ForCtx(ctx, len(test), c.Workers, func(i int) {
+		out[i] = c.Predict(test[i].Values)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // DTWClassifier is a 1-nearest-neighbor classifier under band-constrained
@@ -139,6 +152,18 @@ func (c *DTWClassifier) PredictBatch(test ts.Dataset) []int {
 	return out
 }
 
+// PredictBatchContext is PredictBatch with cooperative cancellation: once
+// ctx is done no further query is scheduled and ctx.Err() is returned.
+func (c *DTWClassifier) PredictBatchContext(ctx context.Context, test ts.Dataset) ([]int, error) {
+	out := make([]int, len(test))
+	if err := parallel.ForCtx(ctx, len(test), c.Workers, func(i int) {
+		out[i] = c.Predict(test[i].Values)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // BestWindow learns the best warping window on the training set by
 // leave-one-out cross-validation over windows from 0 to maxFrac of the
 // series length in 1% steps, as is standard for the UCR baselines. Ties
@@ -155,6 +180,19 @@ func BestWindow(train ts.Dataset, maxFrac float64) int {
 // the correct-count is an integer sum, so the selected window is
 // identical for any worker count.
 func BestWindowWorkers(train ts.Dataset, maxFrac float64, workers int) int {
+	w, _ := BestWindowCtx(context.Background(), train, maxFrac, workers)
+	return w
+}
+
+// BestWindowCtx is BestWindowWorkers with cooperative cancellation: the
+// LOOCV scan stops scheduling held-out instances once ctx is done, drains
+// its workers, and returns ctx.Err() — a stuck window sweep aborts within
+// one 1NN query. With a non-canceled ctx the selected window is identical
+// to BestWindowWorkers for any worker count.
+func BestWindowCtx(ctx context.Context, train ts.Dataset, maxFrac float64, workers int) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(train) == 0 {
 		panic("nn: empty training set")
 	}
@@ -171,7 +209,7 @@ func BestWindowWorkers(train ts.Dataset, maxFrac float64, workers int) int {
 	bestAcc := -1.0
 	for w := 0; w <= maxW; w += step {
 		c := NewDTW(train, w)
-		correct := parallel.MapReduce(len(train), workers,
+		correct, err := parallel.MapReduceCtx(ctx, len(train), workers,
 			func(i int) int {
 				if c.predictSkip(train[i].Values, i) == train[i].Label {
 					return 1
@@ -180,13 +218,16 @@ func BestWindowWorkers(train ts.Dataset, maxFrac float64, workers int) int {
 			},
 			0,
 			func(acc, v int) int { return acc + v })
+		if err != nil {
+			return 0, err
+		}
 		acc := float64(correct) / float64(len(train))
 		if acc > bestAcc {
 			bestAcc = acc
 			bestW = w
 		}
 	}
-	return bestW
+	return bestW, nil
 }
 
 // NewDTWBest is the NN-DTWB baseline: learn the window, build the

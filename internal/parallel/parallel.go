@@ -19,6 +19,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,78 @@ func For(n, workers int, fn func(i int)) {
 	}
 }
 
+// ForCtx is For with cooperative cancellation: once ctx is done, no new
+// index is scheduled, the in-flight iterations are allowed to finish (fn
+// is never interrupted mid-call), the workers drain, and ctx.Err() is
+// returned. A nil ctx behaves like context.Background(). With a ctx that
+// is never canceled, ForCtx runs every index and returns nil — the
+// results (and their byte-identity across worker counts) are exactly
+// those of For.
+//
+// On cancellation the set of completed indices is unspecified; callers
+// must treat their result slots as incomplete and discard them.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		once     sync.Once
+		panicVal any
+	)
+	done := ctx.Done()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicVal = r })
+					panicked.Store(true)
+				}
+			}()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return ctx.Err()
+}
+
 // Map computes fn(i) for every i in [0, n) on at most workers goroutines
 // and returns the results in index order. The ordered-map half of the
 // map-reduce helper pair.
@@ -99,6 +172,35 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	out := make([]T, n)
 	For(n, workers, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapCtx is Map with cooperative cancellation (see ForCtx). On a nil
+// error the returned slice is complete and identical to Map's; on a
+// non-nil error it is partial and must be discarded.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForCtx(ctx, n, workers, func(i int) { out[i] = fn(i) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapReduceCtx is MapReduce with cooperative cancellation (see ForCtx):
+// the parallel map stops scheduling once ctx is done and the (sequential,
+// index-ordered) fold runs only on a complete result set, so a nil error
+// guarantees the reduction is byte-identical to MapReduce's.
+func MapReduceCtx[T, R any](ctx context.Context, n, workers int, fn func(i int) T, init R, reduce func(acc R, v T) R) (R, error) {
+	vals, err := MapCtx(ctx, n, workers, fn)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	acc := init
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc, nil
 }
 
 // MapReduce computes fn(i) for every index in parallel, then folds the

@@ -27,6 +27,7 @@
 package rpm
 
 import (
+	"context"
 	"io"
 
 	"rpm/internal/core"
@@ -165,16 +166,66 @@ type Classifier struct {
 // Train learns an RPM classifier. Training data should be per-instance
 // z-normalized (the UCR convention); GenerateDataset and LoadUCR-produced
 // archive data already are.
+//
+// Train validates its inputs up front — empty or single-class training
+// sets, series shorter than MinSeriesLen, NaN/Inf values, out-of-range
+// options or fixed SAX parameters all return a typed *Error matching
+// ErrBadInput or ErrTooShort — and contains any residual internal panic
+// as ErrInternal, so no input can crash the process.
 func Train(train Dataset, opts Options) (*Classifier, error) {
-	c, err := core.Train(toInternal(train), toCoreOptions(opts))
+	return TrainContext(context.Background(), train, opts)
+}
+
+// TrainContext is Train with cooperative cancellation: canceling ctx (or
+// passing one with a deadline) aborts the parameter search within one
+// evaluation and returns ctx.Err(). With a non-canceled ctx the model is
+// byte-identical to Train's for any Options.Workers value.
+func TrainContext(ctx context.Context, train Dataset, opts Options) (*Classifier, error) {
+	const op = "Train"
+	if err := validateTrainingSet(op, train, MinSeriesLen, true); err != nil {
+		return nil, err
+	}
+	if err := validateOptions(op, opts, ts.Dataset.MinLen(toInternal(train))); err != nil {
+		return nil, err
+	}
+	var c *core.Classifier
+	err := guard(op, func() error {
+		inner, err := core.TrainContext(ctx, toInternal(train), toCoreOptions(opts))
+		if err != nil {
+			return wrapCoreErr(op, err)
+		}
+		c = inner
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Classifier{inner: c}, nil
 }
 
-// Predict classifies one series.
+// Predict classifies one series. It is total: any input — empty,
+// non-finite, shorter than every pattern — yields a deterministic label
+// without panicking (degenerate queries fall back to the training set's
+// nearest-neighbor behavior). Use PredictChecked to have degenerate
+// inputs rejected with a typed error instead.
 func (c *Classifier) Predict(values []float64) int { return c.inner.Predict(values) }
+
+// PredictChecked is Predict with boundary validation and panic
+// containment: an empty query returns ErrTooShort, NaN/Inf values return
+// ErrBadInput, and any residual internal panic comes back as ErrInternal
+// instead of crashing the caller.
+func (c *Classifier) PredictChecked(values []float64) (int, error) {
+	const op = "Predict"
+	if err := validateSeries(op, values, 1); err != nil {
+		return 0, err
+	}
+	var label int
+	err := guard(op, func() error {
+		label = c.inner.Predict(values)
+		return nil
+	})
+	return label, err
+}
 
 // PredictBatch classifies every instance and returns the predicted labels
 // in order.
@@ -182,9 +233,57 @@ func (c *Classifier) PredictBatch(test Dataset) []int {
 	return c.inner.PredictBatch(toInternal(test))
 }
 
+// PredictBatchContext is PredictBatch with boundary validation,
+// cooperative cancellation and panic containment: every query series is
+// validated up front (empty ⇒ ErrTooShort, non-finite ⇒ ErrBadInput),
+// canceling ctx stops scheduling queries and returns ctx.Err(), and with
+// a non-canceled ctx the labels are byte-identical to PredictBatch for
+// any Workers value.
+func (c *Classifier) PredictBatchContext(ctx context.Context, test Dataset) ([]int, error) {
+	const op = "PredictBatch"
+	for i, in := range test {
+		if err := validateSeries(op, in.Values, 1); err != nil {
+			return nil, apiErrf(op, errKind(err), "instance %d: %v", i, errCause(err))
+		}
+	}
+	var out []int
+	err := guard(op, func() error {
+		labels, err := c.inner.PredictBatchContext(ctx, toInternal(test))
+		if err != nil {
+			return err // ctx error: surface unwrapped
+		}
+		out = labels
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Transform maps a series into the representative-pattern distance space:
-// element k is the closest-match distance to pattern k.
+// element k is the closest-match distance to pattern k. Like Predict it
+// is total over its input; TransformChecked rejects degenerate input
+// with a typed error instead.
 func (c *Classifier) Transform(values []float64) []float64 { return c.inner.Transform(values) }
+
+// TransformChecked is Transform with boundary validation and panic
+// containment (see PredictChecked).
+func (c *Classifier) TransformChecked(values []float64) ([]float64, error) {
+	const op = "Transform"
+	if err := validateSeries(op, values, 1); err != nil {
+		return nil, err
+	}
+	var out []float64
+	err := guard(op, func() error {
+		out = c.inner.Transform(values)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // Patterns returns the selected representative patterns, in feature order.
 func (c *Classifier) Patterns() []Pattern {
@@ -200,9 +299,21 @@ func (c *Classifier) Patterns() []Pattern {
 func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
 
 // LoadClassifier deserializes a classifier previously written by Save.
-// The loaded model predicts identically to the original.
+// The loaded model predicts identically to the original. The snapshot is
+// fully validated before any predict-path state is built: a truncated,
+// bit-flipped, or adversarial model file fails here with a typed *Error
+// matching ErrCorruptModel, never with a panic at predict time.
 func LoadClassifier(r io.Reader) (*Classifier, error) {
-	inner, err := core.Load(r)
+	const op = "LoadClassifier"
+	var inner *core.Classifier
+	err := guard(op, func() error {
+		c, err := core.Load(r)
+		if err != nil {
+			return apiErr(op, ErrCorruptModel, err)
+		}
+		inner = c
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -241,13 +352,43 @@ func DatasetNames() []string {
 }
 
 // LoadUCR reads a dataset in the UCR archive text format (label first,
-// comma- or whitespace-separated values, one series per line).
+// comma- or whitespace-separated values, one series per line). Parsing is
+// strict: NaN/Inf values, non-finite labels, and ragged rows are rejected
+// at parse time with a typed *Error matching ErrBadInput (use
+// LoadUCROptions to accept variable-length rows).
 func LoadUCR(r io.Reader) (Dataset, error) {
-	d, err := dataset.Read(r)
+	return LoadUCROptions(r, UCRReadOptions{})
+}
+
+// UCRReadOptions tunes LoadUCROptions; the zero value is the strict
+// default (equal-length rows, finite values, per-row size cap).
+type UCRReadOptions struct {
+	// AllowVariableLength accepts rows with differing numbers of values.
+	AllowVariableLength bool
+	// MaxLineValues caps the observations per row (0 means the package
+	// default), bounding memory on hostile input.
+	MaxLineValues int
+}
+
+// LoadUCROptions is LoadUCR with explicit strictness options.
+func LoadUCROptions(r io.Reader, opts UCRReadOptions) (Dataset, error) {
+	const op = "LoadUCR"
+	var out Dataset
+	err := guard(op, func() error {
+		d, err := dataset.ReadWith(r, dataset.ReadOptions{
+			AllowVariableLength: opts.AllowVariableLength,
+			MaxLineValues:       opts.MaxLineValues,
+		})
+		if err != nil {
+			return apiErr(op, ErrBadInput, err)
+		}
+		out = fromInternal(d)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return fromInternal(d), nil
+	return out, nil
 }
 
 // SaveUCR writes a dataset in the UCR archive text format.

@@ -57,13 +57,17 @@ func TestDatasetNamesAndGenerate(t *testing.T) {
 
 func TestBaselinesSatisfyModel(t *testing.T) {
 	split := GenerateDataset("SynItalyPower", 3)
-	models := map[string]Model{
-		"NN-ED":   NewNNEuclidean(split.Train),
-		"NN-DTW":  NewNNDTW(split.Train, 2),
-		"SAX-VSM": TrainSAXVSM(split.Train, 1),
-		"FS":      TrainFastShapelets(split.Train, 1),
+	models := map[string]func() (Model, error){
+		"NN-ED":   func() (Model, error) { return NewNNEuclidean(split.Train) },
+		"NN-DTW":  func() (Model, error) { return NewNNDTW(split.Train, 2) },
+		"SAX-VSM": func() (Model, error) { return TrainSAXVSM(split.Train, 1) },
+		"FS":      func() (Model, error) { return TrainFastShapelets(split.Train, 1) },
 	}
-	for name, m := range models {
+	for name, build := range models {
+		m, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		preds := PredictAll(m, split.Test)
 		wrong := 0
 		for i, p := range preds {
@@ -79,12 +83,16 @@ func TestBaselinesSatisfyModel(t *testing.T) {
 
 func TestExtensionBaselines(t *testing.T) {
 	split := GenerateDataset("SynItalyPower", 5)
-	models := map[string]Model{
-		"ST":  TrainShapeletTransform(split.Train, 1),
-		"BOP": TrainBagOfPatterns(split.Train, 1),
-		"LS":  TrainLearningShapelets(split.Train, 1),
+	models := map[string]func() (Model, error){
+		"ST":  func() (Model, error) { return TrainShapeletTransform(split.Train, 1) },
+		"BOP": func() (Model, error) { return TrainBagOfPatterns(split.Train, 1) },
+		"LS":  func() (Model, error) { return TrainLearningShapelets(split.Train, 1) },
 	}
-	for name, m := range models {
+	for name, build := range models {
+		m, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		preds := PredictAll(m, split.Test)
 		wrong := 0
 		for i, p := range preds {
