@@ -3,14 +3,51 @@
 
 GO ?= go
 
-# Packages with concurrency: the race target runs them with the race
-# detector enabled (internal/parallel plus every package it fans out).
-RACE_PKGS = ./internal/core ./internal/nn ./internal/parallel ./internal/dist
+# Packages exercised under the race detector: internal/parallel plus
+# every package it fans out into, the instrumentation substrate (whose
+# whole contract is concurrent recording), the baselines that ride the
+# worker pool, and the public package (instrumented training end to end).
+RACE_PKGS = . \
+	./internal/core \
+	./internal/nn \
+	./internal/parallel \
+	./internal/dist \
+	./internal/obs \
+	./internal/experiments \
+	./internal/cluster \
+	./internal/features \
+	./internal/svm \
+	./internal/saxvsm \
+	./internal/fastshapelets \
+	./internal/learnshapelets \
+	./internal/shapelettransform
 
 # Seconds of fuzzing per target in `make fuzz`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench fuzz check
+# Minimum total test coverage (%) across the covered packages; `make
+# cover` fails below this floor. Raise it as coverage grows; never lower
+# it to make a PR pass.
+COVER_FLOOR = 88.0
+
+# Packages counted toward the coverage floor: the public API plus the
+# pipeline-critical internals (transform math, grammar induction,
+# selection, instrumentation, and the parallel substrate).
+COVER_PKGS = . \
+	./internal/core \
+	./internal/ts \
+	./internal/paa \
+	./internal/sax \
+	./internal/dist \
+	./internal/sequitur \
+	./internal/repair \
+	./internal/cluster \
+	./internal/features \
+	./internal/stats \
+	./internal/parallel \
+	./internal/obs
+
+.PHONY: all build test race vet bench fuzz cover check
 
 all: check
 
@@ -39,4 +76,15 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDatasetRead -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run xxx -fuzz FuzzLoadClassifier -fuzztime $(FUZZTIME) .
 
-check: build vet test race fuzz
+# Total test coverage over COVER_PKGS, enforced against COVER_FLOOR.
+# `go tool cover -func` prints a trailing "total:" line; awk compares it
+# to the floor and fails the target when coverage regresses.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS)
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { got = $$3 + 0; if (got < floor) { \
+			printf "coverage %.1f%% below floor %.1f%%\n", got, floor; exit 1 } \
+		else printf "coverage %.1f%% >= floor %.1f%%\n", got, floor }'
+
+check: build vet test race cover fuzz

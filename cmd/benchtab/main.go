@@ -20,15 +20,30 @@
 // sequential). Result values are identical for any setting; pass
 // -workers 1 when the per-method wall-clock times themselves are the
 // experiment (Table 2), since concurrent datasets share the machine.
+//
+// -report json|text instruments every dataset run and appends the
+// per-dataset training reports (stage timings, pipeline counters,
+// worker-pool usage) after the experiment output. -debug-addr starts an
+// HTTP debug server for the duration of the run serving /debug/pprof/*
+// (CPU, heap, goroutine profiles), /debug/vars (expvar, including the
+// live instrumentation snapshot under "rpm_obs") and /debug/obs (the
+// live snapshot directly; ?format=text for a human view). With
+// -debug-addr all datasets share one registry, so per-dataset reports
+// show cumulative-to-date values.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"strings"
 
 	"rpm/internal/experiments"
+	"rpm/internal/obs"
 )
 
 func main() {
@@ -39,24 +54,79 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for dataset fan-out and RPM/1NN internals (0 = all cores, 1 = sequential)")
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
 	verbose := flag.Bool("v", true, "print per-dataset progress to stderr")
+	report := flag.String("report", "", "print per-dataset instrumentation reports after the run: json or text")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
+	if *report != "" && *report != "json" && *report != "text" {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown -report format %q (want json or text)\n", *report)
+		os.Exit(2)
+	}
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *report != "" {
+		cfg.Instrument = true
+	}
+	if *debugAddr != "" {
+		// One shared live registry for the whole run: the debug endpoints
+		// watch training progress while it happens.
+		shared := obs.NewRegistry()
+		cfg.Instrument = true
+		cfg.Obs = shared
+		http.Handle("/debug/obs", obs.Handler(shared))
+		expvar.Publish("rpm_obs", expvar.Func(func() any { return shared.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "benchtab: debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/obs)\n", *debugAddr)
 	}
 	progress := func(string) {}
 	if *verbose {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
-	if err := run(*exp, cfg, *svgDir, progress); err != nil {
+	if err := run(*exp, cfg, *svgDir, *report, progress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg experiments.Config, svgDir string, progress func(string)) error {
+// emitReports prints the per-dataset instrumentation snapshots in the
+// requested format ("" = off).
+func emitReports(results []experiments.DatasetResult, format string) error {
+	switch format {
+	case "":
+		return nil
+	case "json":
+		type item struct {
+			Dataset string        `json:"dataset"`
+			Report  *obs.Snapshot `json:"report"`
+		}
+		items := make([]item, 0, len(results))
+		for _, r := range results {
+			items = append(items, item{Dataset: r.Name, Report: r.Report})
+		}
+		b, err := json.MarshalIndent(items, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	case "text":
+		for _, r := range results {
+			fmt.Printf("== %s ==\n%s", r.Name, r.Report.Text())
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown report format %q (want json or text)", format)
+	}
+}
+
+func run(exp string, cfg experiments.Config, svgDir, reportFmt string, progress func(string)) error {
 	emitSVG := func(write func() ([]string, error)) error {
 		if svgDir == "" {
 			return nil
@@ -78,6 +148,12 @@ func run(exp string, cfg experiments.Config, svgDir string, progress func(string
 		if err != nil {
 			return err
 		}
+		defer func() {
+			// Reports print after the experiment's own artifacts.
+			if err := emitReports(suite, reportFmt); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: reports:", err)
+			}
+		}()
 	}
 	switch exp {
 	case "main":

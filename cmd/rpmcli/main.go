@@ -36,7 +36,12 @@ func main() {
 	saveModel := flag.String("save", "", "write the trained model to this file")
 	loadModel := flag.String("load", "", "load a trained model instead of training")
 	motifsOnly := flag.Bool("motifs", false, "discover class-specific motifs only (no classifier); requires fixed -window/-paa/-alpha")
+	report := flag.String("report", "", "print the training instrumentation report after classification: json or text")
 	flag.Parse()
+
+	if *report != "" && *report != "json" && *report != "text" {
+		fatal(fmt.Errorf("unknown -report format %q (want json or text)", *report))
+	}
 
 	if (*trainPath == "" && *loadModel == "") || *testPath == "" {
 		flag.Usage()
@@ -66,6 +71,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Splits = *splits
 	opts.MaxEvals = *maxEvals
+	opts.Instrument = *report != ""
 	switch *mode {
 	case "direct":
 		opts.Mode = rpm.ParamDIRECT
@@ -141,6 +147,20 @@ func main() {
 		for i, p := range clf.Patterns() {
 			fmt.Printf("pattern %d: class=%d len=%d support=%d freq=%d\n", i, p.Class, len(p.Values), p.Support, p.Freq)
 			fmt.Printf("  values: %v\n", p.Values)
+		}
+	}
+	if *report != "" {
+		tr := clf.TrainReport()
+		if tr == nil {
+			fmt.Println("training report: none (model was loaded, not trained)")
+		} else if *report == "json" {
+			b, err := tr.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Printf("training report:\n%s", tr)
 		}
 	}
 }

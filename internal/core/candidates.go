@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"rpm/internal/cluster"
 	"rpm/internal/dist"
@@ -56,9 +57,14 @@ func findMotifGroups(classTrain ts.Dataset, class int, p sax.Params, opts Option
 	if p.Validate(len(concat.Values)) != nil {
 		return nil
 	}
+	// Step 1 (§3.2.1): discretization time accumulates into the aggregate
+	// step1 span — per-class contributions sum atomically, so under
+	// Workers > 1 the span's busy total can exceed the candidates wall.
+	t0 := time.Now()
 	words := sax.Discretize(concat.Values, p, opts.NumerosityReduction, func(start int) bool {
 		return concat.SpansJunction(start, p.Window)
 	})
+	opts.spanStep1.Add(time.Since(t0))
 	if len(words) < 2 {
 		return nil
 	}
@@ -73,6 +79,10 @@ func findMotifGroups(classTrain ts.Dataset, class int, p sax.Params, opts Option
 		}
 		tokens[i] = id
 	}
+	// Step 2 (§3.2.2): grammar induction, rule-occurrence mapping and
+	// recursive 2-way cluster refinement, timed into the aggregate step2
+	// span with the same summed-across-classes semantics as step 1.
+	t1 := time.Now()
 	rules := inferRules(tokens, opts.GI)
 	minSupport := int(opts.Gamma * float64(len(classTrain)))
 	if minSupport < 2 {
@@ -86,6 +96,7 @@ func findMotifGroups(classTrain ts.Dataset, class int, p sax.Params, opts Option
 		}
 		out = append(out, refineRule(occs, class, minSupport, opts)...)
 	}
+	opts.spanStep2.Add(time.Since(t1))
 	return out
 }
 
@@ -160,7 +171,7 @@ func refineRule(occs []occurrence, class int, minSupport int, opts Options) []mo
 	// writers and the matrix is identical for any worker count. The
 	// dynamic index hand-out in parallel.For load-balances the shrinking
 	// rows.
-	parallel.For(n, opts.Workers, func(i int) {
+	parallel.ForPool(n, opts.Workers, opts.Obs.Pool(PoolRefine), func(i int) {
 		for j := i + 1; j < n; j++ {
 			// slide the shorter occurrence inside the longer one
 			var dd float64
@@ -174,6 +185,8 @@ func refineRule(occs []occurrence, class int, minSupport int, opts Options) []mo
 		}
 	})
 	groups := cluster.SplitRefine(d, opts.SplitMinFrac)
+	ctrKept := opts.Obs.Counter(CtrClustersKept)
+	ctrDropped := opts.Obs.Counter(CtrClustersDropped)
 	var out []motifGroup
 	for _, g := range groups {
 		// support = distinct source instances (requirement (i) of §3.2)
@@ -182,8 +195,10 @@ func refineRule(occs []occurrence, class int, minSupport int, opts Options) []mo
 			seen[occs[idx].series] = true
 		}
 		if len(seen) < minSupport {
+			ctrDropped.Inc()
 			continue
 		}
+		ctrKept.Inc()
 		var proto []float64
 		if opts.UseMedoid {
 			proto = medoid(occs, g, d)

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"rpm/internal/dist"
+	"rpm/internal/obs"
 	"rpm/internal/parallel"
 	"rpm/internal/sax"
 	"rpm/internal/svm"
@@ -121,6 +122,19 @@ type Options struct {
 	VectorClassifier func(X [][]float64, y []int) VectorPredictor `json:"-"`
 	// Seed drives the parameter-search splits (default 1).
 	Seed int64
+	// Obs, when non-nil, receives the training pipeline's
+	// instrumentation: stage spans (obsnames.go), per-class candidate
+	// counters, γ/τ pruning counters, parameter-search cache hit/miss
+	// counters and worker-pool usage. A nil Obs (the default) is the
+	// zero-overhead off switch: every record call is a nil-handle no-op
+	// and training is byte-identical either way (see DESIGN.md §9).
+	// Never serialized with the model.
+	Obs *obs.Registry `json:"-"`
+	// span handles threaded through the pipeline internals; set by
+	// TrainContext/trainWithParams, always nil when Obs is nil.
+	span       *obs.Span
+	spanStep1  *obs.Span
+	spanStep2  *obs.Span
 	// Workers bounds the concurrency of every parallel stage (the
 	// transform matrix, the parameter-search cross-validation, batch
 	// prediction, and candidate pruning): 0 means use
@@ -191,6 +205,26 @@ type Classifier struct {
 // Options returns the options the classifier was trained with.
 func (c *Classifier) Options() Options { return c.opts }
 
+// withoutObs returns a copy of o with every instrumentation handle
+// cleared. The parameter-search evaluator trains throwaway models on
+// cross-validation splits through the same trainWithParams pipeline;
+// stripping the handles keeps those inner runs out of the report (the
+// search's own cost is captured by SpanParamSearch and the
+// search.* counters/pools instead).
+func (o Options) withoutObs() Options {
+	o.Obs = nil
+	o.span = nil
+	o.spanStep1 = nil
+	o.spanStep2 = nil
+	return o
+}
+
+// TrainSnapshot returns the instrumentation snapshot of the training
+// run, or nil when the classifier was trained without Options.Obs (or
+// was loaded from disk). The snapshot is live: calling it again after
+// further PredictBatch traffic reflects the updated predict pool.
+func (c *Classifier) TrainSnapshot() *obs.Snapshot { return c.opts.Obs.Snapshot() }
+
 // NumPatterns returns the number of representative patterns.
 func (c *Classifier) NumPatterns() int { return len(c.Patterns) }
 
@@ -253,8 +287,14 @@ func (t *transformer) apply(v []float64) []float64 {
 // each instance writes only its own row, so the result is byte-identical
 // for every worker count.
 func (t *transformer) applyAll(d ts.Dataset, workers int) [][]float64 {
+	return t.applyAllPool(d, workers, nil)
+}
+
+// applyAllPool is applyAll with optional worker-pool accounting (nil
+// pool ⇒ exactly applyAll).
+func (t *transformer) applyAllPool(d ts.Dataset, workers int, pool *obs.Pool) [][]float64 {
 	X := make([][]float64, len(d))
-	parallel.For(len(d), workers, func(i int) {
+	parallel.ForPool(len(d), workers, pool, func(i int) {
 		X[i] = t.apply(d[i].Values)
 	})
 	return X
@@ -287,7 +327,7 @@ func (c *Classifier) PredictBatch(test ts.Dataset) []int {
 		c.ensureTransformer() // build once, outside the worker fan-out
 	}
 	out := make([]int, len(test))
-	parallel.For(len(test), c.opts.Workers, func(i int) {
+	parallel.ForPool(len(test), c.opts.Workers, c.opts.Obs.Pool(PoolPredict), func(i int) {
 		out[i] = c.Predict(test[i].Values)
 	})
 	return out
@@ -302,7 +342,7 @@ func (c *Classifier) PredictBatchContext(ctx context.Context, test ts.Dataset) (
 		c.ensureTransformer() // build once, outside the worker fan-out
 	}
 	out := make([]int, len(test))
-	if err := parallel.ForCtx(ctx, len(test), c.opts.Workers, func(i int) {
+	if err := parallel.ForCtxPool(ctx, len(test), c.opts.Workers, c.opts.Obs.Pool(PoolPredict), func(i int) {
 		out[i] = c.Predict(test[i].Values)
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rpm/internal/datagen"
+	"rpm/internal/obs"
+)
+
+func saveBytes(t *testing.T, c *Classifier) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := c.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestObsByteIdentity is the observability determinism regression: a
+// training run with a live Registry attached must produce a model that
+// is byte-identical (same Save serialization, same predictions) to one
+// trained with a nil Registry, at Workers 1 and Workers 8. Recording
+// only reads clocks and bumps atomics; if it ever feeds back into the
+// computation this test catches it.
+func TestObsByteIdentity(t *testing.T) {
+	split := datagen.MustByName("SynItalyPower").Generate(3)
+	for _, workers := range []int{1, 8} {
+		plainOpts := workersOpts(workers)
+		instrOpts := workersOpts(workers)
+		instrOpts.Obs = obs.NewRegistry()
+
+		plain, err := Train(split.Train, plainOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instr, err := Train(split.Train, instrOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := saveBytes(t, instr), saveBytes(t, plain); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: instrumented model serialization differs from uninstrumented", workers)
+		}
+		if !reflect.DeepEqual(plain.PredictBatch(split.Test), instr.PredictBatch(split.Test)) {
+			t.Fatalf("workers=%d: instrumented predictions differ", workers)
+		}
+	}
+}
+
+// TestObsTrainRecords asserts the report is substantive on a non-trivial
+// dataset: the stage spans exist with nonzero wall time and every
+// headline counter is positive.
+func TestObsTrainRecords(t *testing.T) {
+	split := datagen.MustByName("SynItalyPower").Generate(3)
+	opts := workersOpts(2)
+	opts.Obs = obs.NewRegistry()
+	c, err := Train(split.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Patterns) == 0 {
+		t.Fatal("degenerate fixture: no patterns")
+	}
+	snap := c.TrainSnapshot()
+	if snap == nil {
+		t.Fatal("TrainSnapshot returned nil with a live registry")
+	}
+	for _, span := range []string{SpanTrain, SpanParamSearch, SpanCandidates, SpanStep1, SpanStep2, SpanStep3, SpanFit} {
+		s := snap.FindSpan(span)
+		if s == nil {
+			t.Fatalf("span %q missing from snapshot", span)
+		}
+		if s.WallNS <= 0 {
+			t.Errorf("span %q has non-positive wall %d", span, s.WallNS)
+		}
+	}
+	for _, ctr := range []string{
+		CtrCandidates, CtrClustersKept, CtrPruneKept,
+		CtrSearchEvals, CtrSearchCacheHits, CtrSearchCacheMiss,
+		CtrCFSExpansions, CtrCFSSelected,
+	} {
+		if v := snap.Counter(ctr); v <= 0 {
+			t.Errorf("counter %q = %d, want > 0", ctr, v)
+		}
+	}
+	// Per-class candidate counters must sum to the total.
+	var perClass int64
+	for _, c := range snap.Counters {
+		if len(c.Name) > len(CtrCandidatesClass) && c.Name[:len(CtrCandidatesClass)] == CtrCandidatesClass {
+			perClass += c.Value
+		}
+	}
+	if total := snap.Counter(CtrCandidates); perClass != total {
+		t.Errorf("per-class candidate counters sum to %d, total says %d", perClass, total)
+	}
+	// Pools must have seen work, and kept+dropped must cover all candidates.
+	foundPool := false
+	for _, p := range snap.Pools {
+		if p.Name == PoolCandidates && p.Tasks > 0 {
+			foundPool = true
+		}
+	}
+	if !foundPool {
+		t.Errorf("pool %q recorded no tasks", PoolCandidates)
+	}
+	if kept, dropped, total := snap.Counter(CtrPruneKept), snap.Counter(CtrPruneDropped), snap.Counter(CtrCandidates); kept+dropped != total {
+		t.Errorf("prune kept %d + dropped %d != candidates %d", kept, dropped, total)
+	}
+	// The report never leaks the inner split trainings: exactly one train
+	// span root (plus nothing else at root level from this package).
+	trains := 0
+	for _, s := range snap.Spans {
+		if s.Name == SpanTrain {
+			trains++
+		}
+	}
+	if trains != 1 {
+		t.Errorf("got %d %q root spans, want exactly 1 (inner search trainings must be stripped)", trains, SpanTrain)
+	}
+}
+
+// TestObsSnapshotStableJSON locks the snapshot's JSON encoding shape:
+// two snapshots of the same registry state encode identically.
+func TestObsSnapshotStableJSON(t *testing.T) {
+	split := datagen.MustByName("SynItalyPower").Generate(3)
+	opts := workersOpts(1)
+	opts.Obs = obs.NewRegistry()
+	c, err := Train(split.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.TrainSnapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.TrainSnapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot JSON encoding is not stable across calls")
+	}
+	if len(a) == 0 || a[0] != '{' {
+		t.Fatalf("unexpected JSON shape: %.40s", a)
+	}
+}
+
+// benchTrain is the shared body of the overhead benchmarks: one full
+// fixed-parameter training (search excluded so the measured work is the
+// instrumented pipeline itself, not the dominating DIRECT evaluations).
+func benchTrain(b *testing.B, reg func() *obs.Registry) {
+	split := datagen.MustByName("SynItalyPower").Generate(3)
+	opts := workersOpts(1)
+	opts.Mode = ParamFixed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Obs = reg()
+		if _, err := Train(split.Train, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainNoRegistry is the uninstrumented baseline; compare with
+// BenchmarkTrainLiveRegistry to measure the recording overhead (the
+// nil-path requirement is < 2%, i.e. this benchmark must not regress
+// when instrumentation code is added to the pipeline).
+func BenchmarkTrainNoRegistry(b *testing.B) {
+	benchTrain(b, func() *obs.Registry { return nil })
+}
+
+// BenchmarkTrainLiveRegistry measures a full training with recording on.
+func BenchmarkTrainLiveRegistry(b *testing.B) {
+	benchTrain(b, obs.NewRegistry)
+}

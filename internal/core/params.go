@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -70,12 +71,18 @@ func (e *evaluator) fmeasures(ctx context.Context, p sax.Params) (map[int]float6
 	e.mu.Lock()
 	if f, ok := e.cache[p]; ok {
 		e.mu.Unlock()
+		e.opts.Obs.Counter(CtrSearchCacheHits).Inc()
 		return f, nil
 	}
 	e.mu.Unlock()
-	fixed := e.opts
+	e.opts.Obs.Counter(CtrSearchCacheMiss).Inc()
+	// Inner split trainings run the full pipeline; strip the
+	// instrumentation handles so the report reflects the final training
+	// only (the search cost is on SpanParamSearch and the search.*
+	// counters/pools).
+	fixed := e.opts.withoutObs()
 	fixed.Mode = ParamFixed
-	perSplit, err := parallel.MapCtx(ctx, len(e.splits), e.opts.Workers, func(s int) []stats.ClassF1 {
+	perSplit, err := parallel.MapCtxPool(ctx, len(e.splits), e.opts.Workers, e.opts.Obs.Pool(PoolSearchSplits), func(s int) []stats.ClassF1 {
 		sp := e.splits[s]
 		perClass := map[int]sax.Params{}
 		for _, c := range e.classes {
@@ -116,6 +123,7 @@ func (e *evaluator) fmeasures(ctx context.Context, p sax.Params) (map[int]float6
 	e.evals++
 	e.cache[p] = acc
 	e.mu.Unlock()
+	e.opts.Obs.Counter(CtrSearchEvals).Inc()
 	return acc, nil
 }
 
@@ -197,10 +205,12 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 		// them): score them concurrently, then apply consider in grid
 		// order so ties resolve exactly as in the sequential loop.
 		grid := paramGrid(m, opts.MaxEvals)
-		scores, err := parallel.MapCtx(ctx, len(grid), opts.Workers, func(i int) map[int]float64 {
+		gridSpan := opts.span.Start("grid")
+		scores, err := parallel.MapCtxPool(ctx, len(grid), opts.Workers, opts.Obs.Pool(PoolSearchGrid), func(i int) map[int]float64 {
 			fs, _ := e.fmeasures(ctx, grid[i]) // nil on cancel; MapCtx reports it
 			return fs
 		})
+		gridSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -213,6 +223,7 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 		hi := []float64{float64(wHi), float64(paaHi), float64(aHi)}
 		for _, c := range e.classes {
 			class := c
+			classSpan := opts.span.Start(fmt.Sprintf("direct.class.%d", class))
 			direct.Minimize(func(x []float64) float64 {
 				if ctx.Err() != nil {
 					return 1 // worst objective; evaluation is now O(1)
@@ -225,6 +236,7 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 				consider(p, fs)
 				return 1 - fs[class]
 			}, lo, hi, direct.Options{MaxEvals: opts.MaxEvals})
+			classSpan.End()
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

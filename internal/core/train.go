@@ -43,6 +43,12 @@ func TrainContext(ctx context.Context, train ts.Dataset, opts Options) (*Classif
 	if opts.MaxEvals <= 0 {
 		opts.MaxEvals = 60
 	}
+	// Instrumentation (no-ops when opts.Obs is nil): the whole run lives
+	// under SpanTrain; recording never feeds back into the computation,
+	// so the trained model is byte-identical with or without a registry.
+	opts.span = opts.Obs.StartSpan(SpanTrain)
+	defer opts.span.End()
+	opts.Obs.Gauge(GaugeWorkers).Set(int64(parallel.Workers(opts.Workers)))
 	classes := train.Classes()
 	var perClass map[int]sax.Params
 	switch opts.Mode {
@@ -56,8 +62,11 @@ func TrainContext(ctx context.Context, train ts.Dataset, opts Options) (*Classif
 			perClass[c] = p
 		}
 	case ParamGrid, ParamDIRECT:
+		searchOpts := opts
+		searchOpts.span = opts.span.Start(SpanParamSearch)
 		var err error
-		perClass, err = selectParams(ctx, train, opts)
+		perClass, err = selectParams(ctx, train, searchOpts)
+		searchOpts.span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -123,18 +132,34 @@ func trainWithParams(ctx context.Context, train ts.Dataset, perClass map[int]sax
 			perClass[class] = HeuristicParams(train.MinLen())
 		}
 	}
-	perClassCands, err := parallel.MapCtx(ctx, len(classes), opts.Workers, func(i int) []candidate {
+	// Candidate generation (Steps 1+2): the candidates span measures the
+	// fan-out's wall; the two aggregate stage spans accumulate each
+	// class's SAX vs. grammar/cluster time from inside findMotifGroups.
+	candSpan := opts.span.Start(SpanCandidates)
+	opts.spanStep1 = candSpan.Child(SpanStep1)
+	opts.spanStep2 = candSpan.Child(SpanStep2)
+	perClassCands, err := parallel.MapCtxPool(ctx, len(classes), opts.Workers, opts.Obs.Pool(PoolCandidates), func(i int) []candidate {
 		class := classes[i]
 		return findCandidates(byClass[class], class, perClass[class], opts)
 	})
+	candSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		total := opts.Obs.Counter(CtrCandidates)
+		for i, cc := range perClassCands {
+			total.Add(int64(len(cc)))
+			opts.Obs.Counter(fmt.Sprintf("%s%d", CtrCandidatesClass, classes[i])).Add(int64(len(cc)))
+		}
 	}
 	var cands []candidate
 	for _, cc := range perClassCands {
 		cands = append(cands, cc...)
 	}
+	step3 := opts.span.Start(SpanStep3)
 	patterns := findDistinct(train, cands, opts)
+	step3.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -147,8 +172,10 @@ func trainWithParams(ctx context.Context, train ts.Dataset, perClass map[int]sax
 	if len(patterns) == 0 {
 		return c, nil
 	}
+	fit := opts.span.Start(SpanFit)
+	defer fit.End()
 	c.ensureTransformer()
-	X := c.tf.applyAll(train, opts.Workers)
+	X := c.tf.applyAllPool(train, opts.Workers, opts.Obs.Pool(PoolTransform))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"rpm/internal/fastshapelets"
 	"rpm/internal/learnshapelets"
 	"rpm/internal/nn"
+	"rpm/internal/obs"
 	"rpm/internal/parallel"
 	"rpm/internal/saxvsm"
 	"rpm/internal/shapelettransform"
@@ -63,10 +64,14 @@ type MethodResult struct {
 // Total returns train + classify time.
 func (r MethodResult) Total() time.Duration { return r.TrainTime + r.ClassifyTime }
 
-// DatasetResult bundles every method's result on one dataset.
+// DatasetResult bundles every method's result on one dataset. Report is
+// non-nil only under Config.Instrument: a snapshot of the dataset's obs
+// registry, carrying the RPM training stage spans and counters plus the
+// NN-DTWB leave-one-out sweep spans.
 type DatasetResult struct {
 	Name    string
 	Results map[string]MethodResult
+	Report  *obs.Snapshot `json:",omitempty"`
 }
 
 // Config tunes the harness.
@@ -95,6 +100,16 @@ type Config struct {
 	// With a non-canceled context, results are identical to a run
 	// without one.
 	Context context.Context
+	// Instrument gives every dataset run its own obs.Registry: RPM
+	// training records its stage spans, counters and worker pools, and
+	// the NN-DTWB window search its per-window LOOCV spans, into
+	// DatasetResult.Report. Off by default (zero overhead); recording
+	// never changes any result value.
+	Instrument bool
+	// Obs, when non-nil, is the registry the run records into. RunDataset
+	// fills it per dataset under Instrument; set it directly to share one
+	// registry across a custom single-dataset harness.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +142,7 @@ func rpmOptions(cfg Config) core.Options {
 		o.MaxEvals = 40
 	}
 	o.Workers = cfg.Workers
+	o.Obs = cfg.Obs
 	return o
 }
 
@@ -148,7 +164,7 @@ func TrainMethod(name string, train ts.Dataset, cfg Config) (predictor, time.Dur
 		ed.Workers = cfg.Workers
 		p = ed
 	case MethodNNDTWB:
-		w, werr := nn.BestWindowCtx(cfg.Context, train, 0.2, cfg.Workers)
+		w, werr := nn.BestWindowObs(cfg.Context, train, 0.2, cfg.Workers, cfg.Obs)
 		if werr != nil {
 			return nil, time.Since(start), werr
 		}
@@ -198,9 +214,15 @@ func predictAll(p predictor, test ts.Dataset) []int {
 
 // RunDataset evaluates the configured methods on one dataset split.
 // cfg.Context aborts between (and, for RPM and NN-DTWB, inside) methods.
-func RunDataset(split dataset.Split, cfg Config) (DatasetResult, error) {
+func RunDataset(split dataset.Split, cfg Config) (res DatasetResult, err error) {
 	cfg = cfg.withDefaults()
-	res := DatasetResult{Name: split.Name, Results: map[string]MethodResult{}}
+	if cfg.Instrument && cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry() // one registry per dataset run
+	}
+	res = DatasetResult{Name: split.Name, Results: map[string]MethodResult{}}
+	// Named return: the snapshot is attached on every exit path, so a
+	// partially evaluated dataset still reports what it measured.
+	defer func() { res.Report = cfg.Obs.Snapshot() }()
 	for _, m := range cfg.Methods {
 		if err := cfg.Context.Err(); err != nil {
 			return res, err

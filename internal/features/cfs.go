@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"rpm/internal/obs"
 )
 
 // maxStale is Hall's best-first stopping criterion: abandon the search
@@ -36,6 +38,14 @@ const defaultBins = 10
 // feature-class correlation) when d > 0 and n > 1; it returns nil for
 // degenerate input.
 func Select(X [][]float64, y []int) []int {
+	return SelectObs(X, y, nil)
+}
+
+// SelectObs is Select with an optional expansion counter: each best-first
+// node expansion increments expansions (a nil counter is a no-op, so
+// Select(X, y) and SelectObs(X, y, nil) are the same code path). The
+// selected subset never depends on the counter.
+func SelectObs(X [][]float64, y []int, expansions *obs.Counter) []int {
 	n := len(X)
 	if n == 0 || len(y) != n {
 		return nil
@@ -53,7 +63,7 @@ func Select(X [][]float64, y []int) []int {
 		return []int{0}
 	}
 	sc := newSUCache(X, y)
-	return bestFirst(sc, d)
+	return bestFirst(sc, d, expansions)
 }
 
 // suCache lazily computes the symmetrical uncertainties the merit
@@ -199,7 +209,8 @@ func subsetKey(s []int) string {
 }
 
 // bestFirst runs Hall's best-first forward search over feature subsets.
-func bestFirst(sc *suCache, d int) []int {
+// expansions, when non-nil, counts popped-and-expanded nodes.
+func bestFirst(sc *suCache, d int, expansions *obs.Counter) []int {
 	open := &nodeHeap{}
 	heap.Init(open)
 	visited := map[string]bool{}
@@ -210,6 +221,7 @@ func bestFirst(sc *suCache, d int) []int {
 	stale := 0
 	for open.Len() > 0 && stale < maxStale {
 		cur := heap.Pop(open).(searchNode)
+		expansions.Inc()
 		improved := false
 		for f := 0; f < d; f++ {
 			if containsInt(cur.subset, f) {

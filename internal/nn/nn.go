@@ -7,11 +7,22 @@ package nn
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"rpm/internal/dist"
+	"rpm/internal/obs"
 	"rpm/internal/parallel"
 	"rpm/internal/ts"
+)
+
+// SpanLOOCV is the span recorded by BestWindowObs around the whole
+// leave-one-out window sweep; each candidate window w gets a child span
+// named SpanLOOCVWindow + strconv.Itoa(w).
+const (
+	SpanLOOCV       = "nn.loocv"
+	SpanLOOCVWindow = "nn.loocv.window." // + window half-width
+	PoolLOOCV       = "pool.nn.loocv"
 )
 
 // EDClassifier is a 1-nearest-neighbor classifier under Euclidean distance.
@@ -190,6 +201,17 @@ func BestWindowWorkers(train ts.Dataset, maxFrac float64, workers int) int {
 // one 1NN query. With a non-canceled ctx the selected window is identical
 // to BestWindowWorkers for any worker count.
 func BestWindowCtx(ctx context.Context, train ts.Dataset, maxFrac float64, workers int) (int, error) {
+	return BestWindowObs(ctx, train, maxFrac, workers, nil)
+}
+
+// BestWindowObs is BestWindowCtx with optional instrumentation: with a
+// non-nil registry the whole sweep runs under the SpanLOOCV span, every
+// candidate window gets a SpanLOOCVWindow child recording its wall time,
+// and the per-held-out-instance fan-out is attributed to PoolLOOCV. A nil
+// registry yields nil handles whose methods are no-ops, so the selected
+// window is identical with or without instrumentation (recording never
+// feeds back into the scan).
+func BestWindowObs(ctx context.Context, train ts.Dataset, maxFrac float64, workers int, reg *obs.Registry) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -199,6 +221,9 @@ func BestWindowCtx(ctx context.Context, train ts.Dataset, maxFrac float64, worke
 	if maxFrac <= 0 {
 		maxFrac = 0.2
 	}
+	sweep := reg.StartSpan(SpanLOOCV)
+	defer sweep.End()
+	pool := reg.Pool(PoolLOOCV)
 	m := train.MinLen()
 	maxW := int(maxFrac * float64(m))
 	step := m / 100
@@ -208,18 +233,22 @@ func BestWindowCtx(ctx context.Context, train ts.Dataset, maxFrac float64, worke
 	bestW := 0
 	bestAcc := -1.0
 	for w := 0; w <= maxW; w += step {
+		wSpan := sweep.Start(fmt.Sprintf("%s%d", SpanLOOCVWindow, w))
 		c := NewDTW(train, w)
-		correct, err := parallel.MapReduceCtx(ctx, len(train), workers,
+		counts, err := parallel.MapCtxPool(ctx, len(train), workers, pool,
 			func(i int) int {
 				if c.predictSkip(train[i].Values, i) == train[i].Label {
 					return 1
 				}
 				return 0
-			},
-			0,
-			func(acc, v int) int { return acc + v })
+			})
+		wSpan.End()
 		if err != nil {
 			return 0, err
+		}
+		correct := 0
+		for _, v := range counts {
+			correct += v
 		}
 		acc := float64(correct) / float64(len(train))
 		if acc > bestAcc {

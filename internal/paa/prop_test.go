@@ -1,0 +1,125 @@
+package paa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the PAA transform: the mean-preservation and
+// lower-bounding identities (Keogh et al. 2001) that make SAX's MINDIST
+// guarantee sound, checked for both the integer-segment fast path and
+// the fractional-weighting general path.
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestPropPAAMeanPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for it := 0; it < 300; it++ {
+		n := 2 + rng.Intn(100)
+		w := 1 + rng.Intn(n)
+		v := randSeries(rng, n)
+		p := Transform(v, w)
+		var mv, mp float64
+		for _, x := range v {
+			mv += x
+		}
+		mv /= float64(n)
+		for _, x := range p {
+			mp += x
+		}
+		mp /= float64(len(p))
+		if math.Abs(mv-mp) > 1e-9 {
+			t.Fatalf("it %d (n=%d w=%d): PAA mean %v != series mean %v", it, n, w, mp, mv)
+		}
+	}
+}
+
+func TestPropPAAIdentityAndConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for it := 0; it < 100; it++ {
+		n := 1 + rng.Intn(40)
+		v := randSeries(rng, n)
+		// w >= n: identity
+		p := Transform(v, n+rng.Intn(3))
+		if len(p) != n {
+			t.Fatalf("it %d: identity path length %d != %d", it, len(p), n)
+		}
+		for i := range v {
+			if p[i] != v[i] {
+				t.Fatalf("it %d: identity path altered values", it)
+			}
+		}
+		// constant series: every segment mean equals the constant
+		c := 1 + rng.NormFloat64()
+		cv := make([]float64, n)
+		for i := range cv {
+			cv[i] = c
+		}
+		w := 1 + rng.Intn(n)
+		for i, x := range Transform(cv, w) {
+			if math.Abs(x-c) > 1e-9 {
+				t.Fatalf("it %d: constant series segment %d = %v, want %v", it, i, x, c)
+			}
+		}
+	}
+}
+
+// TestPropPAALowerBound is the dimensionality-reduction contract:
+// sqrt(n/w)·‖PAA(a)−PAA(b)‖ ≤ ‖a−b‖. It holds for the fractional
+// weighting too (per-segment Jensen: the squared difference of weighted
+// means is at most the weighted mean of squared differences, and each
+// point's weights across segments sum to one).
+func TestPropPAALowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for it := 0; it < 400; it++ {
+		n := 2 + rng.Intn(100)
+		w := 1 + rng.Intn(n)
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		pa := Transform(a, w)
+		pb := Transform(b, w)
+		lhs := float64(n) / float64(len(pa)) * sqDist(pa, pb)
+		rhs := sqDist(a, b)
+		if lhs > rhs+1e-9 {
+			t.Fatalf("it %d (n=%d w=%d): PAA bound violated: %v > %v", it, n, w, lhs, rhs)
+		}
+	}
+}
+
+// TestPropPAATransformIntoReuse: the buffer-reusing variant is
+// byte-identical to the allocating one, for any prior buffer contents.
+func TestPropPAATransformIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	buf := make([]float64, 0, 64)
+	for it := 0; it < 200; it++ {
+		n := 1 + rng.Intn(60)
+		w := 1 + rng.Intn(n+4)
+		v := randSeries(rng, n)
+		want := Transform(v, w)
+		buf = TransformInto(buf[:0], v, w)
+		if len(buf) != len(want) {
+			t.Fatalf("it %d: length %d != %d", it, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("it %d: reused buffer diverges at %d", it, i)
+			}
+		}
+	}
+}

@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rpm/internal/obs"
 )
 
 // Workers resolves a Workers-style option to a concrete worker count:
@@ -47,7 +50,17 @@ func Workers(n int) int {
 // If any fn panics, the first panic value is re-raised on the calling
 // goroutine after all workers have stopped; remaining indices are
 // abandoned.
-func For(n, workers int, fn func(i int)) {
+func For(n, workers int, fn func(i int)) { ForPool(n, workers, nil, fn) }
+
+// ForPool is For with per-pool observability: when pool is non-nil,
+// every completed task is attributed — with its duration — to the
+// worker slot that executed it, and the run's worker count and wall
+// time are recorded on completion (obs.Pool derives idle time from
+// them). Index scheduling, result placement and panic semantics are
+// exactly For's, so outputs stay byte-identical for any worker count
+// whether or not a pool is attached. A nil pool adds no work at all:
+// the loop bodies below are the pre-instrumentation ones.
+func ForPool(n, workers int, pool *obs.Pool, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -55,9 +68,21 @@ func For(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	if pool != nil {
+		start := time.Now()
+		defer func() { pool.RunDone(workers, time.Since(start)) }()
+	}
 	if workers <= 1 {
+		if pool == nil {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
+		}
 		for i := 0; i < n; i++ {
+			t0 := time.Now()
 			fn(i)
+			pool.WorkerTask(0, time.Since(t0))
 		}
 		return
 	}
@@ -70,6 +95,7 @@ func For(n, workers int, fn func(i int)) {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -83,7 +109,13 @@ func For(n, workers int, fn func(i int)) {
 				if i >= n || panicked.Load() {
 					return
 				}
-				fn(i)
+				if pool == nil {
+					fn(i)
+				} else {
+					t0 := time.Now()
+					fn(i)
+					pool.WorkerTask(w, time.Since(t0))
+				}
 			}
 		}()
 	}
@@ -104,6 +136,14 @@ func For(n, workers int, fn func(i int)) {
 // On cancellation the set of completed indices is unspecified; callers
 // must treat their result slots as incomplete and discard them.
 func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForCtxPool(ctx, n, workers, nil, fn)
+}
+
+// ForCtxPool is ForCtx with the per-pool observability of ForPool: a
+// non-nil pool receives per-worker task accounting and run totals; a
+// nil pool adds no work. Cancellation and byte-identity semantics are
+// exactly ForCtx's.
+func ForCtxPool(ctx context.Context, n, workers int, pool *obs.Pool, fn func(i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -117,12 +157,22 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	if pool != nil {
+		start := time.Now()
+		defer func() { pool.RunDone(workers, time.Since(start)) }()
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			if pool == nil {
+				fn(i)
+			} else {
+				t0 := time.Now()
+				fn(i)
+				pool.WorkerTask(0, time.Since(t0))
+			}
 		}
 		return ctx.Err()
 	}
@@ -136,6 +186,7 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	done := ctx.Done()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -154,7 +205,13 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 				if i >= n || panicked.Load() {
 					return
 				}
-				fn(i)
+				if pool == nil {
+					fn(i)
+				} else {
+					t0 := time.Now()
+					fn(i)
+					pool.WorkerTask(w, time.Since(t0))
+				}
 			}
 		}()
 	}
@@ -178,8 +235,13 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 // error the returned slice is complete and identical to Map's; on a
 // non-nil error it is partial and must be discarded.
 func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	return MapCtxPool(ctx, n, workers, nil, fn)
+}
+
+// MapCtxPool is MapCtx with the per-pool observability of ForPool.
+func MapCtxPool[T any](ctx context.Context, n, workers int, pool *obs.Pool, fn func(i int) T) ([]T, error) {
 	out := make([]T, n)
-	err := ForCtx(ctx, n, workers, func(i int) { out[i] = fn(i) })
+	err := ForCtxPool(ctx, n, workers, pool, func(i int) { out[i] = fn(i) })
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"rpm/internal/obs"
+)
+
+// TestForPoolAttribution: every completed task is attributed to exactly
+// one worker slot, and the run totals land in the pool.
+func TestForPoolAttribution(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := obs.NewRegistry()
+		p := r.Pool("p")
+		const n = 50
+		got := make([]int, n)
+		ForPool(n, workers, p, func(i int) {
+			got[i] = i * i
+			time.Sleep(time.Microsecond)
+		})
+		for i := range got {
+			if got[i] != i*i {
+				t.Fatalf("workers=%d: slot %d not computed", workers, i)
+			}
+		}
+		s := r.Snapshot()
+		ps := s.Pools[0]
+		if ps.Tasks != n {
+			t.Fatalf("workers=%d: tasks = %d, want %d", workers, ps.Tasks, n)
+		}
+		if ps.Runs != 1 {
+			t.Fatalf("workers=%d: runs = %d", workers, ps.Runs)
+		}
+		if ps.MaxWorkers != workers {
+			t.Fatalf("workers=%d: maxWorkers = %d", workers, ps.MaxWorkers)
+		}
+		var attributed int64
+		for _, v := range ps.TasksPerWorker {
+			attributed += v
+		}
+		if attributed != n {
+			t.Fatalf("workers=%d: per-worker attribution sums to %d, want %d", workers, attributed, n)
+		}
+		if ps.BusyNS <= 0 || ps.WallNS <= 0 {
+			t.Fatalf("workers=%d: zero busy/wall: %+v", workers, ps)
+		}
+	}
+}
+
+// TestForPoolNilIdentical: a nil pool must not change results — the
+// instrumented helpers with pool == nil are the plain For/ForCtx paths.
+func TestForPoolNilIdentical(t *testing.T) {
+	const n = 40
+	a := make([]int, n)
+	b := make([]int, n)
+	For(n, 4, func(i int) { a[i] = 3 * i })
+	ForPool(n, 4, nil, func(i int) { b[i] = 3 * i })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("nil-pool ForPool diverges from For")
+	}
+}
+
+// TestMapCtxPoolCancel: cancellation with a pool attached still returns
+// the context error and drains cleanly; the pool keeps whatever partial
+// accounting happened (never negative idle).
+func TestMapCtxPoolCancel(t *testing.T) {
+	r := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtxPool(ctx, 100, 4, r.Pool("p"), func(i int) int { return i })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := r.Snapshot(); len(s.Pools) == 1 && s.Pools[0].IdleNS < 0 {
+		t.Fatalf("negative idle: %+v", s.Pools[0])
+	}
+}
+
+// TestForCtxPoolComplete: with a never-canceled ctx the pooled variant
+// is byte-identical to the plain one.
+func TestForCtxPoolComplete(t *testing.T) {
+	r := obs.NewRegistry()
+	const n = 30
+	got := make([]int, n)
+	if err := ForCtxPool(context.Background(), n, 3, r.Pool("p"), func(i int) { got[i] = i + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i+1 {
+			t.Fatalf("slot %d missing", i)
+		}
+	}
+	if ps := r.Snapshot().Pools[0]; ps.Tasks != n {
+		t.Fatalf("tasks = %d, want %d", ps.Tasks, n)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"rpm/internal/core"
 	"rpm/internal/datagen"
 	"rpm/internal/dataset"
+	"rpm/internal/obs"
 	"rpm/internal/sax"
 	"rpm/internal/ts"
 )
@@ -130,6 +131,14 @@ type Options struct {
 	// byte-identical for every setting — Workers trades wall-clock time
 	// only (see DESIGN.md "Concurrency").
 	Workers int
+	// Instrument records the training run — stage timings for the
+	// paper's three steps and the parameter search, pipeline counters
+	// (candidates, clusters kept/dropped at γ, patterns pruned at τ,
+	// search-cache hits/misses, CFS expansions) and worker-pool usage —
+	// retrievable afterwards via Classifier.TrainReport. Off by default:
+	// the uninstrumented path records nothing and allocates nothing, and
+	// instrumentation never changes the trained model (see DESIGN.md §9).
+	Instrument bool
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -458,5 +467,8 @@ func toCoreOptions(o Options) core.Options {
 		c.Seed = o.Seed
 	}
 	c.Workers = o.Workers
+	if o.Instrument {
+		c.Obs = obs.NewRegistry()
+	}
 	return c
 }
