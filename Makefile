@@ -6,8 +6,10 @@ GO ?= go
 # Packages exercised under the race detector: internal/parallel plus
 # every package it fans out into, the instrumentation substrate (whose
 # whole contract is concurrent recording), the baselines that ride the
-# worker pool, and the public package (instrumented training end to end).
+# worker pool, the serving layer (batcher + hot-reload registry), and
+# the public package (instrumented training end to end).
 RACE_PKGS = . \
+	./internal/serve \
 	./internal/core \
 	./internal/nn \
 	./internal/parallel \
@@ -25,6 +27,20 @@ RACE_PKGS = . \
 # Seconds of fuzzing per target in `make fuzz`.
 FUZZTIME ?= 10s
 
+# --- Benchmark-regression gate (see README "Benchmark gate") ---------------
+# The gated benchmarks cover the pipeline's hot paths: end-to-end fixed-
+# parameter training, single prediction, the transform and predict-batch
+# parallel kernels, the 1NN baselines, and the Matcher short-query path.
+# `make bench-baseline` refreshes the committed baseline; `make
+# bench-gate` re-runs the benches and fails on a >$(MAX_REGRESS)% ns/op
+# regression against it (benchjson aggregates -count samples by min).
+BENCH_GATE_RE = ^Benchmark(RPMTrainFixed|RPMPredict|TransformParallel|PredictBatchParallel|NNEDParallel|NNDTWParallel|MatcherBestShort)$$
+BENCH_GATE_PKGS = . ./internal/core ./internal/nn ./internal/dist
+BENCH_BASELINE = BENCH_PR4.json
+BENCH_CURRENT = BENCH_PR4.tmp.json
+MAX_REGRESS ?= 25
+BENCH_GATE_RUN = $(GO) test -run xxx -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 100ms -count 3 $(BENCH_GATE_PKGS)
+
 # Minimum total test coverage (%) across the covered packages; `make
 # cover` fails below this floor. Raise it as coverage grows; never lower
 # it to make a PR pass.
@@ -32,8 +48,10 @@ COVER_FLOOR = 88.0
 
 # Packages counted toward the coverage floor: the public API plus the
 # pipeline-critical internals (transform math, grammar induction,
-# selection, instrumentation, and the parallel substrate).
+# selection, instrumentation, the parallel substrate, and the serving
+# layer).
 COVER_PKGS = . \
+	./internal/serve \
 	./internal/core \
 	./internal/ts \
 	./internal/paa \
@@ -47,7 +65,8 @@ COVER_PKGS = . \
 	./internal/parallel \
 	./internal/obs
 
-.PHONY: all build test race vet bench fuzz cover check
+.PHONY: all build test race vet bench fuzz cover check \
+	bench-json bench-gate bench-baseline
 
 all: check
 
@@ -86,5 +105,20 @@ cover:
 		'/^total:/ { got = $$3 + 0; if (got < floor) { \
 			printf "coverage %.1f%% below floor %.1f%%\n", got, floor; exit 1 } \
 		else printf "coverage %.1f%% >= floor %.1f%%\n", got, floor }'
+
+# Run the gated benchmarks and write the machine-readable results to
+# $(BENCH_CURRENT) (git-ignored).
+bench-json:
+	$(BENCH_GATE_RUN) | $(GO) run ./cmd/benchjson -o $(BENCH_CURRENT)
+
+# Fail when any gated benchmark regressed ns/op by more than
+# $(MAX_REGRESS)% against the committed baseline $(BENCH_BASELINE).
+bench-gate: bench-json
+	$(GO) run ./cmd/benchjson -compare -max-regress $(MAX_REGRESS) $(BENCH_BASELINE) $(BENCH_CURRENT)
+
+# Refresh the committed baseline (run on an idle machine; commit the
+# result together with the change that legitimately moved the numbers).
+bench-baseline:
+	$(BENCH_GATE_RUN) | $(GO) run ./cmd/benchjson -o $(BENCH_BASELINE)
 
 check: build vet test race cover fuzz

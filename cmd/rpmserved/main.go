@@ -1,0 +1,150 @@
+// Command rpmserved is the RPM inference server: it loads every saved
+// classifier snapshot (*.json, written by Classifier.Save / rpmcli
+// -save) from a model directory into a versioned, hot-reloadable
+// registry and serves predictions over HTTP, amortizing per-request
+// transform cost through an adaptive micro-batcher (see DESIGN.md §10).
+//
+// Usage:
+//
+//	rpmserved -models ./models -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/predict        {"model":"name","values":[...]}    → {"model","version","label"}
+//	POST /v1/predict:batch  {"model":"name","series":[[...]]}  → {"model","version","labels"}
+//	GET  /v1/models         list loaded models and versions
+//	POST /admin/reload      re-scan the model directory (also SIGHUP)
+//	GET  /healthz, /readyz  liveness / readiness
+//	GET  /debug/obs         live serve.* counters, latency summaries, pools
+//	     /debug/vars        expvar (includes rpm_obs), /debug/pprof/*
+//
+// The "model" field may be omitted when exactly one model is loaded.
+// Hot reload (SIGHUP or POST /admin/reload) atomically swaps in changed
+// snapshots; corrupt files are rejected and the previous version keeps
+// serving. SIGTERM/SIGINT drains gracefully: in-flight and queued
+// requests finish, new ones get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rpm/internal/obs"
+	"rpm/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		models       = flag.String("models", "", "directory of saved model snapshots (*.json); required")
+		maxBatch     = flag.Int("max-batch", 16, "micro-batch flush size")
+		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "longest a request waits for batch-mates before flushing")
+		queueSize    = flag.Int("queue", 256, "batch queue bound; a full queue sheds with 429")
+		workers      = flag.Int("workers", 0, "predict fan-out per flush (0 = all cores, 1 = sequential)")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (queueing + prediction)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
+		noDebug      = flag.Bool("no-debug", false, "disable /debug/obs, /debug/vars and /debug/pprof")
+	)
+	flag.Parse()
+	if *models == "" {
+		fmt.Fprintln(os.Stderr, "rpmserved: -models is required (a directory of *.json snapshots)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *models, *maxBatch, *queueSize, *workers, *maxDelay, *timeout, *drainTimeout, !*noDebug); err != nil {
+		log.Fatalf("rpmserved: %v", err)
+	}
+}
+
+func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeout, drainTimeout time.Duration, debug bool) error {
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		ModelDir:       models,
+		MaxBatch:       maxBatch,
+		MaxDelay:       maxDelay,
+		QueueSize:      queueSize,
+		Workers:        workers,
+		RequestTimeout: timeout,
+		Registry:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range srv.Store().Models() {
+		log.Printf("loaded model %q v%d (%d patterns, classes %v) from %s",
+			m.Name, m.Version, m.NumPatterns, m.Classes, m.Path)
+	}
+	if srv.Store().Len() == 0 {
+		log.Printf("warning: no loadable models in %s; /readyz stays 503 until a reload finds one", models)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if debug {
+		// The PR-3 debug surface: live instrumentation, expvar, pprof.
+		mux.Handle("GET /debug/obs", obs.Handler(reg))
+		expvar.Publish("rpm_obs", expvar.Func(func() any { return reg.Snapshot() }))
+		mux.Handle("GET /debug/vars", expvar.Handler())
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
+
+	// SIGHUP → hot reload; SIGTERM/SIGINT → graceful drain.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			rep, err := srv.Reload()
+			if err != nil {
+				log.Printf("reload failed: %v", err)
+				continue
+			}
+			log.Printf("reload: %d loaded, %d unchanged, %d kept-old, %d rejected, %d removed (%d serving)",
+				len(rep.Loaded), len(rep.Unchanged), len(rep.KeptOld), len(rep.Rejected), len(rep.Removed), rep.Models)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (models=%s maxBatch=%d maxDelay=%s queue=%d)", addr, models, maxBatch, maxDelay, queueSize)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("got %s, draining (budget %s)", sig, drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Order matters: stop accepting and finish in-flight handlers first
+	// (http.Server.Shutdown), then drain the batch queue (serve.Close).
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		return fmt.Errorf("draining batcher: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -135,6 +135,17 @@ func errCause(err error) error {
 	return err
 }
 
+// ValidateSeries checks one query series against the same boundary rules
+// PredictChecked and PredictBatchContext enforce: a series with fewer
+// than one point returns a typed *Error matching ErrTooShort, NaN/Inf
+// values one matching ErrBadInput, and a valid series returns nil. It is
+// exported for request boundaries (e.g. the rpmserved inference server)
+// that must validate per-request payloads before queueing them into a
+// shared batch, where one bad series must not fail its batch-mates.
+func ValidateSeries(values []float64) error {
+	return validateSeries("ValidateSeries", values, 1)
+}
+
 // validateSeries rejects an empty, too-short, or non-finite query.
 func validateSeries(op string, values []float64, minLen int) error {
 	if len(values) < minLen {

@@ -132,9 +132,9 @@ type Options struct {
 	Obs *obs.Registry `json:"-"`
 	// span handles threaded through the pipeline internals; set by
 	// TrainContext/trainWithParams, always nil when Obs is nil.
-	span       *obs.Span
-	spanStep1  *obs.Span
-	spanStep2  *obs.Span
+	span      *obs.Span
+	spanStep1 *obs.Span
+	spanStep2 *obs.Span
 	// Workers bounds the concurrency of every parallel stage (the
 	// transform matrix, the parameter-search cross-validation, batch
 	// prediction, and candidate pruning): 0 means use
@@ -204,6 +204,14 @@ type Classifier struct {
 
 // Options returns the options the classifier was trained with.
 func (c *Classifier) Options() Options { return c.opts }
+
+// SetWorkers re-bounds the concurrency of the classifier's predict-path
+// fan-out (PredictBatch / PredictBatchContext) after training or Load:
+// 0 means every core, 1 forces the sequential path. It exists for model
+// servers that load snapshots trained elsewhere and want to control the
+// serving machine's parallelism themselves. Not safe to call
+// concurrently with prediction — configure before serving traffic.
+func (c *Classifier) SetWorkers(n int) { c.opts.Workers = n }
 
 // withoutObs returns a copy of o with every instrumentation handle
 // cleared. The parameter-search evaluator trains throwaway models on

@@ -72,14 +72,21 @@ func NewMatcher(pattern []float64) *Matcher {
 func (m *Matcher) Len() int { return len(m.zp) }
 
 // Best returns the closest match of the pattern in series, with the same
-// semantics as ClosestMatch. If the series is shorter than the pattern the
-// roles are swapped (one-off, using the slower general path).
+// semantics as ClosestMatch. If the series is shorter than the pattern
+// the roles are swapped: the z-normalized query slides over the
+// precomputed z-normalized pattern directly, without routing through
+// ClosestMatch's general path (which would redo the role swap and its
+// length checks per call — a cost the serving layer exposes to arbitrary
+// query lengths). Per-window z-normalization makes the swapped search
+// invariant to the pattern's global normalization, so sliding over the
+// stored zp is equivalent to sliding over the raw pattern.
 func (m *Matcher) Best(series []float64) Match {
 	if len(m.zp) == 0 || len(series) == 0 {
 		return Match{Dist: math.Inf(1), Pos: -1}
 	}
 	if len(m.zp) > len(series) {
-		return ClosestMatch(m.zp, series)
+		// Short query: hoisted swap — zp is reused as the haystack.
+		return bestMatchZ(ts.ZNorm(series), m.zp)
 	}
 	return bestMatchZ(m.zp, series)
 }

@@ -412,4 +412,3 @@ func (m *Model) PredictBatch(test ts.Dataset) []int {
 	}
 	return out
 }
-

@@ -45,21 +45,23 @@ const MaxPoolWorkers = 64
 // *Registry is the canonical "instrumentation off" value: every method
 // is a no-op returning nil handles.
 type Registry struct {
-	mu       sync.Mutex
-	started  time.Time
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	pools    map[string]*Pool
-	roots    []*Span
+	mu        sync.Mutex
+	started   time.Time
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	pools     map[string]*Pool
+	summaries map[string]*Summary
+	roots     []*Span
 }
 
 // NewRegistry returns an empty live registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		started:  time.Now(),
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		pools:    map[string]*Pool{},
+		started:   time.Now(),
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		pools:     map[string]*Pool{},
+		summaries: map[string]*Summary{},
 	}
 }
 
@@ -109,6 +111,23 @@ func (r *Registry) Pool(name string) *Pool {
 		r.pools[name] = p
 	}
 	return p
+}
+
+// Summary returns the named duration summary (a histogram-ish latency
+// accumulator), creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Summary(name string) *Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.summaries[name]
+	if !ok {
+		s = &Summary{name: name}
+		s.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel: no observations yet
+		r.summaries[name] = s
+	}
+	return s
 }
 
 // StartSpan opens a new root-level span. Returns nil on a nil registry.
@@ -183,6 +202,72 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// summaryBuckets is the number of power-of-two latency buckets a Summary
+// tracks: bucket i counts observations in [2^i, 2^(i+1)) nanoseconds,
+// with bucket 0 also absorbing sub-nanosecond values and the last bucket
+// absorbing everything ≥ 2^(summaryBuckets-1) ns (~9.2 s and beyond —
+// far past any request this repo serves).
+const summaryBuckets = 34
+
+// Summary is a duration accumulator with approximate quantiles: count,
+// sum, min, max plus a fixed set of power-of-two histogram buckets, all
+// atomics. It is the latency measure of the serving layer, where a plain
+// Span's accumulated wall time hides tail behavior. A nil *Summary is a
+// valid no-op handle; all methods are goroutine-safe.
+type Summary struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64 // ns
+	min     atomic.Int64 // ns; MaxInt64 until the first observation
+	max     atomic.Int64 // ns
+	buckets [summaryBuckets]atomic.Int64
+}
+
+// Observe folds one duration into the summary. Negative durations clamp
+// to zero. No-op on nil.
+func (s *Summary) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	s.count.Add(1)
+	s.sum.Add(ns)
+	for {
+		cur := s.min.Load()
+		if ns >= cur || s.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if ns <= cur || s.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	s.buckets[summaryBucket(ns)].Add(1)
+}
+
+// summaryBucket maps a nanosecond value to its power-of-two bucket.
+func summaryBucket(ns int64) int {
+	b := 0
+	for ns > 1 && b < summaryBuckets-1 {
+		ns >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of observations (0 on nil).
+func (s *Summary) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
 }
 
 // Span is one node in the hierarchical timing tree. Two usage styles:
@@ -329,10 +414,11 @@ func (p *Pool) RunDone(workers int, wall time.Duration) {
 // Counters, gauges and pools are sorted by name so the JSON encoding is
 // stable across runs with identical values; spans keep creation order.
 type Snapshot struct {
-	Spans    []SpanSnapshot    `json:"spans,omitempty"`
-	Counters []CounterSnapshot `json:"counters,omitempty"`
-	Gauges   []GaugeSnapshot   `json:"gauges,omitempty"`
-	Pools    []PoolSnapshot    `json:"pools,omitempty"`
+	Spans     []SpanSnapshot    `json:"spans,omitempty"`
+	Counters  []CounterSnapshot `json:"counters,omitempty"`
+	Gauges    []GaugeSnapshot   `json:"gauges,omitempty"`
+	Pools     []PoolSnapshot    `json:"pools,omitempty"`
+	Summaries []SummarySnapshot `json:"summaries,omitempty"`
 }
 
 // SpanSnapshot is one timing-tree node. WallNS is the accumulated wall
@@ -359,6 +445,22 @@ type CounterSnapshot struct {
 type GaugeSnapshot struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
+}
+
+// SummarySnapshot is one latency summary's state. The quantiles are
+// approximate: each is the upper bound of the power-of-two bucket the
+// quantile falls in (so they over-report by at most 2x), which is enough
+// to see tail behavior without per-observation storage.
+type SummarySnapshot struct {
+	Name   string `json:"name"`
+	Count  int64  `json:"count"`
+	SumNS  int64  `json:"sumNS"`
+	MinNS  int64  `json:"minNS"`
+	MaxNS  int64  `json:"maxNS"`
+	P50NS  int64  `json:"p50NS"`
+	P90NS  int64  `json:"p90NS"`
+	P99NS  int64  `json:"p99NS"`
+	MeanNS int64  `json:"meanNS"`
 }
 
 // PoolSnapshot is one worker pool's cumulative usage. IdleNS is derived:
@@ -395,6 +497,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	for _, p := range r.pools {
 		pools = append(pools, p)
 	}
+	summaries := make([]*Summary, 0, len(r.summaries))
+	for _, s := range r.summaries {
+		summaries = append(summaries, s)
+	}
 	r.mu.Unlock()
 
 	for _, s := range roots {
@@ -412,7 +518,52 @@ func (r *Registry) Snapshot() *Snapshot {
 		snap.Pools = append(snap.Pools, snapPool(p))
 	}
 	sort.Slice(snap.Pools, func(i, j int) bool { return snap.Pools[i].Name < snap.Pools[j].Name })
+	for _, s := range summaries {
+		snap.Summaries = append(snap.Summaries, snapSummary(s))
+	}
+	sort.Slice(snap.Summaries, func(i, j int) bool { return snap.Summaries[i].Name < snap.Summaries[j].Name })
 	return snap
+}
+
+// snapSummary copies a summary's atomics and derives the approximate
+// quantiles from the bucket counts. Concurrent Observe calls may make
+// count and the bucket total differ by in-flight observations; quantile
+// ranks use the bucket total so they stay internally consistent.
+func snapSummary(s *Summary) SummarySnapshot {
+	out := SummarySnapshot{Name: s.name, Count: s.count.Load(), SumNS: s.sum.Load(), MaxNS: s.max.Load()}
+	if min := s.min.Load(); out.Count > 0 && min != int64(^uint64(0)>>1) {
+		out.MinNS = min
+	}
+	if out.Count > 0 {
+		out.MeanNS = out.SumNS / out.Count
+	}
+	var counts [summaryBuckets]int64
+	var total int64
+	for i := range s.buckets {
+		counts[i] = s.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return out
+	}
+	quantile := func(q float64) int64 {
+		rank := int64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var seen int64
+		for i, c := range counts {
+			seen += c
+			if seen > rank {
+				return int64(1) << uint(i+1) // bucket upper bound
+			}
+		}
+		return out.MaxNS
+	}
+	out.P50NS = quantile(0.50)
+	out.P90NS = quantile(0.90)
+	out.P99NS = quantile(0.99)
+	return out
 }
 
 func snapSpan(s *Span) SpanSnapshot {
@@ -485,6 +636,33 @@ func findSpanIn(s *SpanSnapshot, name string) *SpanSnapshot {
 	return nil
 }
 
+// Summary returns the named summary snapshot, or nil when absent (or on
+// a nil snapshot).
+func (s *Snapshot) Summary(name string) *SummarySnapshot {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Summaries {
+		if s.Summaries[i].Name == name {
+			return &s.Summaries[i]
+		}
+	}
+	return nil
+}
+
+// Gauge returns the named gauge's value (0 when absent or nil).
+func (s *Snapshot) Gauge(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // Counter returns the named counter's value (0 when absent or nil).
 func (s *Snapshot) Counter(name string) int64 {
 	if s == nil {
@@ -538,6 +716,15 @@ func (s *Snapshot) Text() string {
 			fmt.Fprintf(&b, "  %-28s runs=%d tasks=%d busy=%s idle=%s maxWorkers=%d perWorker=%v\n",
 				p.Name, p.Runs, p.Tasks, time.Duration(p.BusyNS).Round(time.Microsecond),
 				time.Duration(p.IdleNS).Round(time.Microsecond), p.MaxWorkers, p.TasksPerWorker)
+		}
+	}
+	if len(s.Summaries) > 0 {
+		b.WriteString("summaries:\n")
+		for _, sm := range s.Summaries {
+			fmt.Fprintf(&b, "  %-28s n=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
+				sm.Name, sm.Count, time.Duration(sm.MeanNS).Round(time.Microsecond),
+				time.Duration(sm.P50NS).Round(time.Microsecond), time.Duration(sm.P90NS).Round(time.Microsecond),
+				time.Duration(sm.P99NS).Round(time.Microsecond), time.Duration(sm.MaxNS).Round(time.Microsecond))
 		}
 	}
 	return b.String()

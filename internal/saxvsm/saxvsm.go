@@ -242,4 +242,3 @@ func (m *Model) TopWords(class, n int) []string {
 	}
 	return out
 }
-

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rpm"
+	"rpm/internal/obs"
+)
+
+// predRequest is one single-prediction request queued into the batcher.
+type predRequest struct {
+	model  string
+	values []float64
+	// out is buffered (capacity 1) so a flush never blocks on a caller
+	// that gave up waiting (deadline, disconnect).
+	out chan predResponse
+}
+
+type predResponse struct {
+	label int
+	model *Model
+	err   error
+}
+
+// batcher is the adaptive micro-batcher: single-prediction requests
+// queue into a bounded channel and are flushed to one PredictBatch call
+// when either maxBatch requests have accumulated or maxDelay has elapsed
+// since the first request of the batch. The first request of a batch
+// therefore waits at most maxDelay; under load batches fill instantly
+// and per-request transform overhead amortizes across the worker pool
+// inside PredictBatchContext.
+//
+// One goroutine (loop) owns batch assembly; flushes resolve the model
+// from the store at flush time, so a hot reload redirects the very next
+// flush to the new model without dropping anything queued.
+type batcher struct {
+	store    *Store
+	maxBatch int
+	maxDelay time.Duration
+
+	queue    chan *predRequest
+	quit     chan struct{}
+	quitOnce sync.Once
+	done     chan struct{}
+
+	batches *obs.Counter
+	items   *obs.Counter
+	depth   *obs.Gauge
+	pool    *obs.Pool
+
+	// flushGate, when non-nil, turns every flush into a two-phase
+	// handshake: flush sends one token (announcing it has begun and is
+	// stalled) then receives one token (the release). It exists solely
+	// for tests that need a deterministically stalled batcher
+	// (queue-full shedding, reload-during-flight); it is nil in
+	// production and costs one nil check per flush.
+	flushGate chan struct{}
+}
+
+func newBatcher(store *Store, maxBatch, queueSize int, maxDelay time.Duration, reg *obs.Registry) *batcher {
+	return &batcher{
+		store:    store,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		queue:    make(chan *predRequest, queueSize),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		batches:  reg.Counter(CtrBatches),
+		items:    reg.Counter(CtrBatchItems),
+		depth:    reg.Gauge(GaugeQueueDepth),
+		pool:     reg.Pool(PoolBatch),
+	}
+}
+
+// start launches the batch-assembly goroutine.
+func (b *batcher) start() { go b.loop() }
+
+// enqueue offers a request to the queue without blocking. A false return
+// means the queue is full — the caller sheds the request with 429.
+func (b *batcher) enqueue(r *predRequest) bool {
+	select {
+	case b.queue <- r:
+		b.depth.Set(int64(len(b.queue)))
+		return true
+	default:
+		return false
+	}
+}
+
+// loop assembles and flushes batches until quit, then drains whatever
+// remains in the queue so graceful shutdown never strands a queued
+// request.
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		var first *predRequest
+		select {
+		case <-b.quit:
+			b.drain()
+			return
+		case first = <-b.queue:
+		}
+		batch := append(make([]*predRequest, 0, b.maxBatch), first)
+		timer := time.NewTimer(b.maxDelay)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case <-b.quit:
+				break collect
+			case r := <-b.queue:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.depth.Set(int64(len(b.queue)))
+		b.flush(batch)
+	}
+}
+
+// stop signals the loop to drain and waits for it (or ctx). Safe to
+// call more than once (Server.Close is idempotent).
+func (b *batcher) stop(ctx context.Context) error {
+	b.quitOnce.Do(func() { close(b.quit) })
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// drain empties the queue after quit, flushing in maxBatch-sized groups.
+func (b *batcher) drain() {
+	var batch []*predRequest
+	for {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+			if len(batch) >= b.maxBatch {
+				b.flush(batch)
+				batch = nil
+			}
+		default:
+			if len(batch) > 0 {
+				b.flush(batch)
+			}
+			return
+		}
+	}
+}
+
+// flush classifies one assembled batch. Requests are grouped by model
+// name (one PredictBatch call per distinct model, resolved from the
+// store at flush time so reloads take effect immediately); each group's
+// labels are distributed back to the waiting handlers. The typical
+// single-model deployment always produces exactly one PredictBatch call.
+func (b *batcher) flush(batch []*predRequest) {
+	if b.flushGate != nil {
+		b.flushGate <- struct{}{} // announce: stalled at the gate
+		<-b.flushGate             // wait for release
+	}
+	start := time.Now()
+	// Group by model, preserving arrival order within groups.
+	groups := map[string][]*predRequest{}
+	var order []string
+	for _, r := range batch {
+		if _, ok := groups[r.model]; !ok {
+			order = append(order, r.model)
+		}
+		groups[r.model] = append(groups[r.model], r)
+	}
+	for _, name := range order {
+		group := groups[name]
+		m, err := b.store.Get(name)
+		if err != nil {
+			for _, r := range group {
+				r.out <- predResponse{err: err}
+			}
+			continue
+		}
+		ds := make(rpm.Dataset, len(group))
+		for i, r := range group {
+			ds[i] = rpm.Instance{Values: r.values}
+		}
+		labels, err := m.clf.PredictBatchContext(context.Background(), ds)
+		if err != nil {
+			for _, r := range group {
+				r.out <- predResponse{err: err}
+			}
+			continue
+		}
+		for i, r := range group {
+			r.out <- predResponse{label: labels[i], model: m}
+		}
+	}
+	dur := time.Since(start)
+	b.batches.Inc()
+	b.items.Add(int64(len(batch)))
+	b.pool.WorkerTask(0, dur)
+	b.pool.RunDone(1, dur)
+}

@@ -1,0 +1,49 @@
+package serve
+
+// Canonical observability names the serving layer records into its
+// obs.Registry, exported so cmd/rpmserved and the tests read the
+// snapshot without string drift (the same convention internal/core uses
+// for the training pipeline).
+//
+//   - CtrRequests / CtrRequestsPredict / CtrRequestsBatch count accepted
+//     HTTP requests (total and per endpoint).
+//   - CtrBatches counts micro-batch flushes — the number of underlying
+//     PredictBatch calls the batcher issued. CtrBatchItems counts the
+//     requests those flushes carried, so CtrBatchItems / CtrBatches is
+//     the achieved batch amortization factor.
+//   - CtrShed counts requests rejected with 429 because the batch queue
+//     was full (load shedding).
+//   - CtrErrPrefix+<code> counts error responses by envelope code
+//     (bad_input, too_short, not_found, corrupt_model, …).
+//   - CtrReloads counts reload passes; CtrReloadRejected counts files
+//     that failed to load during them (corrupt snapshots).
+//   - SumLatencyPredict / SumLatencyBatch are per-endpoint latency
+//     summaries (count, mean, approximate p50/p90/p99, max).
+//   - PoolBatch accounts the batcher as a one-worker pool: tasks are
+//     flushes, busy time is time spent inside PredictBatch.
+//   - SpanServe is the root span (its wall is server uptime); per-
+//     endpoint aggregate child spans fold in request handling time.
+const (
+	CtrRequests        = "serve.requests"
+	CtrRequestsPredict = "serve.requests.predict"
+	CtrRequestsBatch   = "serve.requests.batch"
+	CtrBatches         = "serve.batches"
+	CtrBatchItems      = "serve.batches.items"
+	CtrShed            = "serve.shed"
+	CtrReloads         = "serve.reloads"
+	CtrReloadRejected  = "serve.reloads.rejected"
+	CtrErrPrefix       = "serve.errors."
+
+	GaugeModels     = "serve.models"
+	GaugeQueueDepth = "serve.queue.depth"
+
+	PoolBatch = "serve.pool.batch"
+
+	SumLatencyPredict = "serve.latency.predict"
+	SumLatencyBatch   = "serve.latency.predict_batch"
+
+	SpanServe        = "serve"
+	SpanPredict      = "predict"
+	SpanPredictBatch = "predict_batch"
+	SpanReload       = "reload"
+)

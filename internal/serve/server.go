@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpm"
+	"rpm/internal/obs"
+)
+
+// Unexported sentinels for model-resolution failures; mapped to HTTP
+// statuses by errorStatus.
+var (
+	errNoModels       = errors.New("no models loaded")
+	errUnknownModel   = errors.New("unknown model")
+	errAmbiguousModel = errors.New("no default model")
+	errDraining       = errors.New("server draining")
+)
+
+// Config configures a Server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// ModelDir is the directory of *.json classifier snapshots (written
+	// by Classifier.Save / rpmcli -save). Required.
+	ModelDir string
+	// MaxBatch is the micro-batcher's flush size (default 16).
+	MaxBatch int
+	// MaxDelay is the longest the first request of a batch waits for
+	// batch-mates before flushing anyway (default 2ms).
+	MaxDelay time.Duration
+	// QueueSize bounds the batch queue; a full queue sheds requests with
+	// 429 + Retry-After (default 256).
+	QueueSize int
+	// Workers bounds the predict fan-out inside each flush
+	// (rpm.SetWorkers on every loaded model): 0 = all cores (default),
+	// 1 = sequential.
+	Workers int
+	// RequestTimeout is the per-request deadline covering queueing and
+	// prediction (default 5s). Requests also honor the client's
+	// disconnect via the http request context.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; larger payloads get 413
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// Registry receives the serving-layer observability (serve.*
+	// counters, latency summaries, the batch pool, the uptime span). A
+	// fresh registry is created when nil, retrievable via Server.Obs.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the rpmserved HTTP inference server: a model Store, a
+// micro-batcher, and a handler set (see Handler). Construct with New,
+// serve via Handler, shut down with Close.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	store   *Store
+	batcher *batcher
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	requests   *obs.Counter
+	reqPredict *obs.Counter
+	reqBatch   *obs.Counter
+	shed       *obs.Counter
+
+	latPredict *obs.Summary
+	latBatch   *obs.Summary
+
+	spanPredict *obs.Span
+	spanBatch   *obs.Span
+	spanReload  *obs.Span
+}
+
+// New builds a Server over cfg.ModelDir, performing the initial load.
+// An unreadable model directory is an error; corrupt snapshot files are
+// not (they are reported by Reload and skipped — readiness then depends
+// on at least one clean model, see /readyz).
+func New(cfg Config) (*Server, error) {
+	if cfg.ModelDir == "" {
+		return nil, fmt.Errorf("serve: Config.ModelDir is required")
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		store:      NewStore(cfg.ModelDir, cfg.Workers, reg),
+		requests:   reg.Counter(CtrRequests),
+		reqPredict: reg.Counter(CtrRequestsPredict),
+		reqBatch:   reg.Counter(CtrRequestsBatch),
+		shed:       reg.Counter(CtrShed),
+		latPredict: reg.Summary(SumLatencyPredict),
+		latBatch:   reg.Summary(SumLatencyBatch),
+	}
+	root := reg.StartSpan(SpanServe) // never ended: wall reads as uptime
+	s.spanPredict = root.Child(SpanPredict)
+	s.spanBatch = root.Child(SpanPredictBatch)
+	s.spanReload = root.Child(SpanReload)
+	if _, err := s.store.Reload(); err != nil {
+		return nil, err
+	}
+	s.batcher = newBatcher(s.store, cfg.MaxBatch, cfg.QueueSize, cfg.MaxDelay, reg)
+	s.batcher.start()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict", s.guarded(s.handlePredict))
+	s.mux.HandleFunc("POST /v1/predict:batch", s.guarded(s.handlePredictBatch))
+	s.mux.HandleFunc("GET /v1/models", s.guarded(s.handleModels))
+	s.mux.HandleFunc("POST /admin/reload", s.guarded(s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler. The debug surface
+// (/debug/obs, expvar, pprof) is mounted by cmd/rpmserved, not here, so
+// embedding processes choose what to expose.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Obs returns the server's observability registry.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Store returns the server's model store.
+func (s *Server) Store() *Store { return s.store }
+
+// Reload re-scans the model directory (also reachable via
+// POST /admin/reload and, in cmd/rpmserved, SIGHUP).
+func (s *Server) Reload() (ReloadReport, error) {
+	start := time.Now()
+	rep, err := s.store.Reload()
+	s.spanReload.Add(time.Since(start))
+	return rep, err
+}
+
+// Close drains the server: new requests are rejected with 503, the
+// batcher flushes everything still queued and stops, then in-flight
+// handlers finish. The batcher stops *first* because queued predict
+// handlers block on their flush result — quitting the batcher triggers
+// its final drain, which is exactly what unblocks them. Call after (or
+// instead of) http.Server.Shutdown; ctx bounds the wait.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	if err := s.batcher.stop(ctx); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Request/response shapes
+
+type predictRequest struct {
+	// Model selects the model by name; optional when exactly one model
+	// is loaded.
+	Model  string    `json:"model,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+type predictResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Label   int    `json:"label"`
+}
+
+type predictBatchRequest struct {
+	Model  string      `json:"model,omitempty"`
+	Series [][]float64 `json:"series"`
+}
+
+type predictBatchResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Labels  []int  `json:"labels"`
+}
+
+type modelInfo struct {
+	Name        string    `json:"name"`
+	Version     int       `json:"version"`
+	File        string    `json:"file"`
+	LoadedAt    time.Time `json:"loadedAt"`
+	NumPatterns int       `json:"numPatterns"`
+	Classes     []int     `json:"classes,omitempty"`
+}
+
+// errorEnvelope is the JSON error body of every non-2xx response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// ---------------------------------------------------------------------------
+// Error mapping (the PR-2 taxonomy → HTTP statuses)
+
+// errorStatus maps an error to its HTTP status and stable envelope code.
+func errorStatus(err error) (int, string) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, errUnknownModel):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, errNoModels):
+		return http.StatusServiceUnavailable, "no_models"
+	case errors.Is(err, errAmbiguousModel):
+		return http.StatusBadRequest, "bad_input"
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, rpm.ErrTooShort):
+		return http.StatusUnprocessableEntity, "too_short"
+	case errors.Is(err, rpm.ErrBadInput):
+		return http.StatusBadRequest, "bad_input"
+	case errors.Is(err, rpm.ErrCorruptModel):
+		return http.StatusServiceUnavailable, "corrupt_model"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	default: // rpm.ErrInternal and anything unclassified
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeError emits the JSON error envelope and bumps the per-code error
+// counter. 429 responses carry Retry-After so well-behaved clients back
+// off a beat instead of hammering a full queue.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.reg.Counter(CtrErrPrefix + code).Inc()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Status: status, Message: msg}})
+}
+
+func (s *Server) writeErrorFor(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	s.writeError(w, status, code, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+// guarded wraps a handler with the shared request plumbing: in-flight
+// accounting (so Close can drain), the draining gate, the request
+// counter, and panic containment — a handler bug answers 500 instead of
+// killing the process, mirroring rpm's guard shim.
+func (s *Server) guarded(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		if s.draining.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+			return
+		}
+		s.requests.Inc()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.writeError(w, http.StatusInternalServerError, "internal", fmt.Sprintf("recovered panic: %v", rec))
+			}
+		}()
+		fn(w, r)
+	}
+}
+
+// decodeBody decodes a JSON request body under the size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return err
+		}
+		return fmt.Errorf("%w: decoding request: %v", rpm.ErrBadInput, err)
+	}
+	return nil
+}
+
+// handlePredict serves POST /v1/predict: one series in, one label out,
+// routed through the micro-batcher.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		s.latPredict.Observe(d)
+		s.spanPredict.Add(d)
+	}()
+	s.reqPredict.Inc()
+	var req predictRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeErrorFor(w, err)
+		return
+	}
+	// Validate at the boundary: one bad series must not fail the batch
+	// it would otherwise share with well-formed requests.
+	if err := rpm.ValidateSeries(req.Values); err != nil {
+		s.writeErrorFor(w, err)
+		return
+	}
+	// Resolve now for fast 404/503 (the flush re-resolves, so a reload
+	// between here and the flush serves the newest version).
+	if _, err := s.store.Get(req.Model); err != nil {
+		s.writeErrorFor(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	pr := &predRequest{model: req.Model, values: req.Values, out: make(chan predResponse, 1)}
+	if !s.batcher.enqueue(pr) {
+		s.shed.Inc()
+		s.writeError(w, http.StatusTooManyRequests, "overloaded",
+			fmt.Sprintf("batch queue full (%d waiting)", s.cfg.QueueSize))
+		return
+	}
+	select {
+	case res := <-pr.out:
+		if res.err != nil {
+			s.writeErrorFor(w, res.err)
+			return
+		}
+		writeJSON(w, predictResponse{Model: res.model.Name, Version: res.model.Version, Label: res.label})
+	case <-ctx.Done():
+		s.writeErrorFor(w, ctx.Err())
+	}
+}
+
+// handlePredictBatch serves POST /v1/predict:batch: the caller already
+// batched, so the micro-batcher is bypassed and the whole payload goes
+// to one PredictBatchContext call under the request deadline.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		s.latBatch.Observe(d)
+		s.spanBatch.Add(d)
+	}()
+	s.reqBatch.Inc()
+	var req predictBatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeErrorFor(w, err)
+		return
+	}
+	if len(req.Series) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_input", "empty series batch")
+		return
+	}
+	for i, v := range req.Series {
+		if err := rpm.ValidateSeries(v); err != nil {
+			status, code := errorStatus(err)
+			s.writeError(w, status, code, fmt.Sprintf("series %d: %v", i, err))
+			return
+		}
+	}
+	m, err := s.store.Get(req.Model)
+	if err != nil {
+		s.writeErrorFor(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	ds := make(rpm.Dataset, len(req.Series))
+	for i, v := range req.Series {
+		ds[i] = rpm.Instance{Values: v}
+	}
+	labels, err := m.clf.PredictBatchContext(ctx, ds)
+	if err != nil {
+		s.writeErrorFor(w, err)
+		return
+	}
+	writeJSON(w, predictBatchResponse{Model: m.Name, Version: m.Version, Labels: labels})
+}
+
+// handleModels serves GET /v1/models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	models := s.store.Models()
+	out := make([]modelInfo, 0, len(models))
+	for _, m := range models {
+		out = append(out, modelInfo{
+			Name:        m.Name,
+			Version:     m.Version,
+			File:        m.Path,
+			LoadedAt:    m.LoadedAt,
+			NumPatterns: m.NumPatterns,
+			Classes:     m.Classes,
+		})
+	}
+	writeJSON(w, map[string]any{"models": out})
+}
+
+// handleReload serves POST /admin/reload.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Reload()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleHealthz reports process liveness (200 even while draining —
+// the process is alive and finishing work).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness to take traffic: at least one model
+// loaded and not draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	if s.store.Len() == 0 {
+		s.writeError(w, http.StatusServiceUnavailable, "no_models", "no models loaded")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ready", "models": s.store.Len()})
+}

@@ -294,6 +294,19 @@ func (c *Classifier) TransformChecked(values []float64) ([]float64, error) {
 	return out, nil
 }
 
+// SetWorkers re-bounds the concurrency of batch prediction
+// (PredictBatch / PredictBatchContext) after training or LoadClassifier:
+// 0 means every core, 1 forces the exact sequential path, any other
+// value caps the worker goroutines. Snapshots store the training
+// machine's Workers setting; a serving process calls SetWorkers once at
+// model-load time to impose its own bound. Results are byte-identical
+// for every setting. Not safe to call concurrently with prediction.
+func (c *Classifier) SetWorkers(n int) { c.inner.SetWorkers(n) }
+
+// NumPatterns returns the number of representative patterns (the
+// dimensionality of the transformed space) without copying them.
+func (c *Classifier) NumPatterns() int { return c.inner.NumPatterns() }
+
 // Patterns returns the selected representative patterns, in feature order.
 func (c *Classifier) Patterns() []Pattern {
 	out := make([]Pattern, len(c.inner.Patterns))
