@@ -3,27 +3,6 @@
 
 GO ?= go
 
-# Packages exercised under the race detector: internal/parallel plus
-# every package it fans out into, the instrumentation substrate (whose
-# whole contract is concurrent recording), the baselines that ride the
-# worker pool, the serving layer (batcher + hot-reload registry), and
-# the public package (instrumented training end to end).
-RACE_PKGS = . \
-	./internal/serve \
-	./internal/core \
-	./internal/nn \
-	./internal/parallel \
-	./internal/dist \
-	./internal/obs \
-	./internal/experiments \
-	./internal/cluster \
-	./internal/features \
-	./internal/svm \
-	./internal/saxvsm \
-	./internal/fastshapelets \
-	./internal/learnshapelets \
-	./internal/shapelettransform
-
 # Seconds of fuzzing per target in `make fuzz`.
 FUZZTIME ?= 10s
 
@@ -65,7 +44,7 @@ COVER_PKGS = . \
 	./internal/parallel \
 	./internal/obs
 
-.PHONY: all build test race vet bench fuzz cover check \
+.PHONY: all build test race vet lint bench fuzz cover check \
 	bench-json bench-gate bench-baseline
 
 all: check
@@ -76,12 +55,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the parallel execution layer and the packages it drives.
+# Race-detect every package. This used to be a 15-package allowlist of
+# the parallel layer and its fan-out targets; it now covers the whole
+# tree so a package cannot silently grow unraced concurrency.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (internal/lint via cmd/rpmlint): the
+# determinism, error-taxonomy, concurrency-discipline, and nil-safe-obs
+# invariants, mechanically enforced. Exit 1 on any finding; deliberate
+# exceptions carry //rpmlint:ignore <analyzer> <reason> at the site.
+# See DESIGN.md §11.
+lint:
+	$(GO) run ./cmd/rpmlint ./...
 
 # Parallel-stage benchmarks with the speedup metric (sequential vs
 # GOMAXPROCS), at 1 and 4 procs.
@@ -121,4 +110,4 @@ bench-gate: bench-json
 bench-baseline:
 	$(BENCH_GATE_RUN) | $(GO) run ./cmd/benchjson -o $(BENCH_BASELINE)
 
-check: build vet test race cover fuzz
+check: build vet lint test race cover fuzz

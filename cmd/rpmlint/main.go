@@ -1,0 +1,75 @@
+// Command rpmlint runs the repo's project-specific static analyzers
+// (internal/lint) over the given package patterns and reports
+// violations of the determinism, error-taxonomy, concurrency, and
+// nil-safe-obs invariants.
+//
+// Usage:
+//
+//	rpmlint [-C dir] [-list] [packages...]
+//
+// With no patterns it analyzes ./... . Diagnostics render as
+// file:line:col: message [analyzer]. Deliberate exceptions are
+// annotated in the source:
+//
+//	//rpmlint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it.
+//
+// Exit codes: 0 — clean; 1 — diagnostics reported; 2 — usage or load
+// error (unparseable package, type-check failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rpm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rpmlint", flag.ContinueOnError)
+	dir := fs.String("C", ".", "directory to run in (module root)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: rpmlint [-C dir] [-list] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpmlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(lint.Defaults(), pkgs, analyzers)
+	for _, d := range diags {
+		// Render paths relative to the working directory when possible,
+		// keeping file:line:col clickable from the repo root.
+		name := d.Pos.Filename
+		if abs, err := filepath.Abs(*dir); err == nil {
+			if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rpmlint: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -93,6 +93,9 @@ func sparkline(v []float64, width, height int) string {
 			hi = x
 		}
 	}
+	// Degenerate-range check: lo/hi are copies of input values, so
+	// equality is exact by construction.
+	//rpmlint:ignore floateq lo/hi are copies of the same inputs; equality exact by construction
 	if hi == lo {
 		hi = lo + 1
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"rpm/internal/sax"
 	"rpm/internal/svm"
@@ -108,7 +109,15 @@ func validateSnapshot(s *snapshot) error {
 	// Per-class SAX parameters must be inside the sax package's bounds:
 	// they are reported to users and re-used by tooling, and out-of-range
 	// values (e.g. Alphabet: 99) would panic inside sax on first use.
-	for class, p := range s.PerClassParams {
+	// Iterate classes in sorted order so the same corrupt snapshot
+	// always yields the same first error (detmap invariant).
+	classes := make([]int, 0, len(s.PerClassParams))
+	for class := range s.PerClassParams {
+		classes = append(classes, class)
+	}
+	sort.Ints(classes)
+	for _, class := range classes {
+		p := s.PerClassParams[class]
 		if err := p.Validate(0); err != nil {
 			return corrupt("class %d SAX params %v: %v", class, p, err)
 		}

@@ -230,6 +230,7 @@ func potentiallyOptimal(rects []*rect, fmin, epsilon float64) []int {
 		pts = append(pts, pt{size: rects[i].size, f: rects[i].f, idx: i})
 	}
 	sort.Slice(pts, func(a, b int) bool {
+		//rpmlint:ignore floateq comparator tie-break needs exact ordering for a strict weak order
 		if pts[a].size != pts[b].size {
 			return pts[a].size < pts[b].size
 		}

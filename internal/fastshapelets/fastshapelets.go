@@ -218,6 +218,7 @@ func bestShapelet(d ts.Dataset, cfg Config, rng *rand.Rand) ([]float64, float64,
 				dists[i] = dist.ClosestMatch(sh, in.Values).Dist
 			}
 			gain, thr, gap := bestSplit(dists, d.Labels())
+			//rpmlint:ignore floateq deterministic tie-break between identically computed gains
 			if gain > bestGain || (gain == bestGain && gap > bestGap) {
 				bestGain = gain
 				bestGap = gap
@@ -356,6 +357,7 @@ func bestSplit(dists []float64, labels []int) (gain, threshold, gap float64) {
 	bestGain, bestThr, bestGap := -1.0, 0.0, 0.0
 	for i := 0; i < n-1; i++ {
 		left[labels[idx[i]]]++
+		//rpmlint:ignore floateq adjacent sorted values: no threshold exists strictly between equal stored values
 		if dists[idx[i]] == dists[idx[i+1]] {
 			continue // no valid threshold between equal distances
 		}
@@ -367,6 +369,7 @@ func bestSplit(dists []float64, labels []int) (gain, threshold, gap float64) {
 		}
 		g := h - (float64(nl)/float64(n))*entropyOf(left, nl) - (float64(nr)/float64(n))*entropyOf(right, nr)
 		gp := dists[idx[i+1]] - dists[idx[i]]
+		//rpmlint:ignore floateq deterministic tie-break between identically computed gains
 		if g > bestGain || (g == bestGain && gp > bestGap) {
 			bestGain = g
 			bestThr = (dists[idx[i]] + dists[idx[i+1]]) / 2

@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// BareGoroutine flags `go` statements outside the packages that own
+// concurrency (internal/parallel's worker pool, the serving layer,
+// obs) and the cmd/ entry points. Hot-path fan-out must go through the
+// worker pool so obs pool accounting, panic propagation, and context
+// cancellation stay correct (PR 1's concurrency discipline, PR 3's
+// attribution, PR 4's drain semantics). A goroutine that genuinely
+// cannot ride the pool takes a reasoned //rpmlint:ignore baregoroutine
+// directive.
+var BareGoroutine = &Analyzer{
+	Name: "baregoroutine",
+	Doc:  "go statements outside the worker-pool/serving/obs layers",
+	Run:  runBareGoroutine,
+}
+
+func runBareGoroutine(pass *Pass) {
+	if pass.Config.goroutineExempt(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare goroutine outside the worker-pool/serving/obs layers; use internal/parallel so cancellation and pool accounting hold")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` statements over maps in deterministic packages
+// whose loop bodies are order-sensitive — the single most common way a
+// Go program silently stops being reproducible (PR 1's byte-identity
+// contract; the paper's Table 2 depends on deterministic candidate
+// generation and selection).
+//
+// A map range is accepted without a diagnostic only when its body is
+// provably order-insensitive:
+//
+//   - it only collects keys/values into slices that are sorted later in
+//     the same function (the canonical sort-the-keys idiom), and/or
+//   - it only performs commutative integer accumulation (x++, x--,
+//     x += e, |=, &=, ^= on integer lvalues), writes through map
+//     indices, delete()s, or nests those inside if statements.
+//
+// Anything else — appending without a later sort, float accumulation
+// (non-associative!), min/max tracking with tie-dependent extras,
+// returns, calls — is reported. Genuinely order-free loops that the
+// analysis cannot prove safe take a reasoned
+// //rpmlint:ignore detmap directive.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "order-sensitive map iteration in deterministic packages",
+	Run:  runDetMap,
+}
+
+func runDetMap(pass *Pass) {
+	if !pass.Config.deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, body := range functionBodies(f) {
+			inspectShallow(body, func(n ast.Node) {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return
+				}
+				if _, isMap := pass.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+					return
+				}
+				if reason := pass.mapRangeUnsafe(rs, body); reason != "" {
+					pass.Reportf(rs.Pos(), "map iteration order is random: %s; sort the keys first (or add //rpmlint:ignore detmap <reason> if provably order-free)", reason)
+				}
+			})
+		}
+	}
+}
+
+// functionBodies returns the body of every function declaration and
+// function literal in f, each exactly once.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow visits every node under body except the interiors of
+// nested function literals (which functionBodies hands out separately,
+// so each node belongs to exactly one scope walk).
+func inspectShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// mapRangeUnsafe classifies the body of a map-range statement. It
+// returns "" when the body is provably order-insensitive within scope
+// (the enclosing function body, used to find post-loop sorts), or a
+// short human-readable reason otherwise.
+func (p *Pass) mapRangeUnsafe(rs *ast.RangeStmt, scope *ast.BlockStmt) string {
+	var appendTargets []types.Object
+	var reason string
+	var checkStmt func(s ast.Stmt) bool
+	checkStmt = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if obj := p.appendTarget(s); obj != nil {
+				appendTargets = append(appendTargets, obj)
+				return true
+			}
+			if p.mapIndexAssign(s) {
+				return true
+			}
+			if p.integerOpAssign(s) {
+				return true
+			}
+			reason = "loop body assigns order-dependent state"
+			return false
+		case *ast.IncDecStmt:
+			if isInteger(p.TypeOf(s.X)) {
+				return true
+			}
+			if ix, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok {
+				if _, isMap := p.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+					return true
+				}
+			}
+			reason = "loop body increments non-integer state"
+			return false
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+						return true
+					}
+				}
+			}
+			reason = "loop body has side-effecting calls"
+			return false
+		case *ast.IfStmt:
+			if s.Init != nil && !checkStmt(s.Init) {
+				return false
+			}
+			for _, inner := range s.Body.List {
+				if !checkStmt(inner) {
+					return false
+				}
+			}
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					for _, inner := range e.List {
+						if !checkStmt(inner) {
+							return false
+						}
+					}
+				case *ast.IfStmt:
+					return checkStmt(e)
+				}
+			}
+			return true
+		case *ast.BlockStmt:
+			for _, inner := range s.List {
+				if !checkStmt(inner) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				return true
+			}
+			reason = "loop body branches (break/goto) order-dependently"
+			return false
+		case *ast.EmptyStmt:
+			return true
+		default:
+			reason = "loop body is order-sensitive"
+			return false
+		}
+	}
+	for _, s := range rs.Body.List {
+		if !checkStmt(s) {
+			return reason
+		}
+	}
+	for _, obj := range appendTargets {
+		if !p.sortedAfter(obj, rs.End(), scope) {
+			return "keys/values are collected but never sorted afterwards"
+		}
+	}
+	return ""
+}
+
+// appendTarget recognizes `x = append(x, ...)` (or :=) with a single
+// slice-typed ident target and returns x's object, else nil.
+func (p *Pass) appendTarget(s *ast.AssignStmt) types.Object {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || arg0.Name != lhs.Name {
+		return nil
+	}
+	obj := p.Info.Uses[lhs]
+	if obj == nil {
+		obj = p.Info.Defs[lhs]
+	}
+	return obj
+}
+
+// mapIndexAssign reports whether s writes (only) through map index
+// expressions — keyed writes commute across iteration orders.
+func (p *Pass) mapIndexAssign(s *ast.AssignStmt) bool {
+	for _, lhs := range s.Lhs {
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if _, isMap := p.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+			return false
+		}
+	}
+	return len(s.Lhs) > 0
+}
+
+// integerOpAssign reports whether s is a commutative integer
+// accumulation: +=, -=, |=, &=, ^= with integer-typed operands.
+func (p *Pass) integerOpAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 {
+		return false
+	}
+	return isInteger(p.TypeOf(s.Lhs[0]))
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort call
+// (sort.Strings/Ints/Float64s/Slice/SliceStable/Sort or
+// slices.Sort/SortFunc/SortStableFunc) after pos within scope.
+func (p *Pass) sortedAfter(obj types.Object, pos token.Pos, scope *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(scope, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 || found {
+			return
+		}
+		switch p.calleePkgPath(call) {
+		case "sort", "slices":
+		default:
+			return
+		}
+		name := p.calleeOf(call).Name()
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc", "Stable":
+		default:
+			return
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && p.Info.Uses[arg] == obj {
+			found = true
+		}
+	})
+	return found
+}

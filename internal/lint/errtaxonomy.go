@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrTaxonomy enforces PR 2's error contract on the public API: every
+// error leaving an exported function of the root package must be a
+// typed *rpm.Error (built by the package's own constructors or helper
+// wrappers), a sentinel, or an unwrapped context error — never a raw
+// errors.New/fmt.Errorf and never an error from an internal package
+// passed through unclassified.
+//
+// The check is intraprocedural: a returned error expression is accepted
+// when it is nil, a package-level Err* sentinel, an &Error{...} literal,
+// a call into the root package itself (constructors and helpers are
+// checked at their own definition sites), or a context error. Returned
+// variables are traced through their assignments within the function;
+// an assignment from a call into any other package flags the return.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "exported root-package functions must return typed *Error values",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) {
+	if pass.Pkg.Path() != pass.Config.RootPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !receiverExported(fd) {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			errIdx := errorResultIndex(sig)
+			if errIdx < 0 {
+				continue
+			}
+			pass.checkReturns(fd, sig, errIdx)
+		}
+	}
+}
+
+// receiverExported reports whether fd is a plain function or a method
+// on an exported named type (methods on unexported types are not part
+// of the public surface).
+func receiverExported(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// errorResultIndex returns the index of the (last) result of type
+// error, or -1.
+func errorResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkReturns validates the error expression of every return statement
+// directly inside fd (nested function literals return to the closure,
+// not the public caller, and are skipped).
+func (p *Pass) checkReturns(fd *ast.FuncDecl, sig *types.Signature, errIdx int) {
+	inspectShallow(fd.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return // naked return: named results, not traceable here
+		}
+		if len(ret.Results) == 1 && sig.Results().Len() > 1 {
+			// return f(...) — multi-value passthrough.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				if bad, why := p.errExprViolates(call, fd); bad {
+					p.Reportf(ret.Pos(), "exported %s returns %s; route errors through the *Error constructors (apiErr/apiErrf/wrapCoreErr) or sentinels", fd.Name.Name, why)
+				}
+			}
+			return
+		}
+		if errIdx >= len(ret.Results) {
+			return
+		}
+		if bad, why := p.errExprViolates(ret.Results[errIdx], fd); bad {
+			p.Reportf(ret.Pos(), "exported %s returns %s; route errors through the *Error constructors (apiErr/apiErrf/wrapCoreErr) or sentinels", fd.Name.Name, why)
+		}
+	})
+}
+
+// errExprViolates classifies an expression in error-return position.
+// It returns (true, reason) when the expression escapes the taxonomy.
+func (p *Pass) errExprViolates(e ast.Expr, fd *ast.FuncDecl) (bool, string) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return false, ""
+		}
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			return false, ""
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Pkg().Path() == p.Config.RootPkg && v.Parent() == v.Pkg().Scope() {
+				if strings.HasPrefix(v.Name(), "Err") || strings.HasPrefix(v.Name(), "err") {
+					return false, "" // sentinel
+				}
+				return true, "a non-sentinel package variable"
+			}
+			// Local variable: trace its assignments.
+			return p.varAssignViolates(v, fd)
+		}
+		return false, ""
+	case *ast.CallExpr:
+		pkg := p.calleePkgPath(e)
+		switch pkg {
+		case "":
+			return false, "" // builtin / conversion / func-typed var: out of scope
+		case p.Config.RootPkg, "context":
+			return false, ""
+		case "errors":
+			if p.calleeOf(e).Name() == "Join" {
+				return false, "" // joining already-typed errors
+			}
+			return true, "a raw errors." + p.calleeOf(e).Name() + " error"
+		case "fmt":
+			return true, "a raw fmt." + p.calleeOf(e).Name() + " error"
+		default:
+			if fn := p.calleeOf(e); fn != nil {
+				if sigOf, ok := fn.Type().(*types.Signature); ok && sigOf.Recv() != nil {
+					if named, ok := derefNamed(sigOf.Recv().Type()); ok {
+						if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Config.RootPkg {
+							return false, "" // method on a root-package type
+						}
+					}
+				}
+			}
+			return true, "an unclassified error from " + pkg
+		}
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			return p.compositeErrViolates(lit)
+		}
+		return false, ""
+	case *ast.CompositeLit:
+		return p.compositeErrViolates(e)
+	case *ast.SelectorExpr:
+		return false, "" // field read: out of scope for the static check
+	default:
+		return false, ""
+	}
+}
+
+// compositeErrViolates accepts composite literals of root-package types
+// (e.g. &Error{...}) and flags everything else.
+func (p *Pass) compositeErrViolates(lit *ast.CompositeLit) (bool, string) {
+	t := p.TypeOf(lit)
+	if named, ok := derefNamed(t); ok {
+		if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Config.RootPkg {
+			return false, ""
+		}
+		return true, "a foreign error literal"
+	}
+	return false, ""
+}
+
+// varAssignViolates traces every assignment to v inside fd; the
+// variable is clean when no assignment stores an error produced
+// outside the root package (or context).
+func (p *Pass) varAssignViolates(v *types.Var, fd *ast.FuncDecl) (bool, string) {
+	bad := false
+	why := ""
+	check := func(rhs ast.Expr) {
+		if bad {
+			return
+		}
+		if b, w := p.errExprViolates(rhs, fd); b {
+			bad, why = true, w
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != v {
+					continue
+				}
+				if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+					check(s.Rhs[0]) // v, err := call(...)
+				} else if i < len(s.Rhs) {
+					check(s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if p.Info.Defs[name] != v {
+					continue
+				}
+				if len(s.Values) == 1 && len(s.Names) > 1 {
+					check(s.Values[0])
+				} else if i < len(s.Values) {
+					check(s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return bad, why
+}
+
+// derefNamed unwraps pointers down to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. Exact float equality is almost always a bug in a numerical
+// pipeline (accumulated rounding differs across code paths and
+// optimization levels); distance comparisons should use tolerances.
+//
+// Two idioms are exempt:
+//
+//   - comparisons where one side is a constant zero — the repo uses 0
+//     as an "unset/sentinel" value for distances, scales, and option
+//     fields, and 0 is exactly representable;
+//   - x != x / x == x self-comparison, the allocation-free NaN test.
+//
+// Everything else takes a tolerance or a reasoned
+// //rpmlint:ignore floateq directive (e.g. comparing values that are
+// copies of the same computation, where equality is exact by
+// construction).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= between floating-point operands",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if pass.isConstZero(be.X) || pass.isConstZero(be.Y) {
+				return true
+			}
+			if sameIdent(be.X, be.Y) {
+				return true // NaN check: x != x
+			}
+			pass.Reportf(be.Pos(), "exact floating-point %s comparison; use a tolerance (or //rpmlint:ignore floateq <reason> when equality is exact by construction)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func (p *Pass) isConstZero(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(tv.Value)
+		return f == 0
+	}
+	return false
+}
+
+// sameIdent reports whether both operands are the same identifier
+// (object-identical), i.e. the x != x NaN idiom.
+func sameIdent(a, b ast.Expr) bool {
+	ai, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := ast.Unparen(b).(*ast.Ident)
+	return ok && ai.Name == bi.Name
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilSafeObs enforces PR 3's "nil handles never steer" contract
+// mechanically: every exported pointer-receiver method in the obs
+// package must begin with a nil-receiver guard
+//
+//	if r == nil { return ... }
+//
+// so that a nil *Registry (instrumentation off) propagates nil
+// sub-handles and every recording call is a no-op. Value-receiver
+// methods (snapshot value types) are exempt, as are methods whose
+// receiver is blank (they cannot dereference it).
+var NilSafeObs = &Analyzer{
+	Name: "nilsafeobs",
+	Doc:  "exported pointer-receiver obs methods must start with a nil guard",
+	Run:  runNilSafeObs,
+}
+
+func runNilSafeObs(pass *Pass) {
+	if pass.Pkg.Path() != pass.Config.ObsPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue
+			}
+			name := recv.Names[0].Name
+			if !startsWithNilGuard(fd.Body, name) {
+				pass.Reportf(fd.Pos(), "exported obs method %s must begin with `if %s == nil { ... }` so nil handles stay no-ops", fd.Name.Name, name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement of body is an
+// if statement whose condition checks the receiver name against nil
+// with == — either alone or as the left-most disjunct of an || chain
+// (short-circuit evaluation makes `s == nil || s.x.IsZero()` safe) —
+// and whose body terminates (contains a return).
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	// Descend to the left-most operand of any || chain: it is the
+	// first condition evaluated.
+	for cond.Op == token.LOR {
+		inner, ok := ast.Unparen(cond.X).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		cond = inner
+	}
+	if cond.Op != token.EQL {
+		return false
+	}
+	if !isIdentNilPair(cond.X, cond.Y, recv) && !isIdentNilPair(cond.Y, cond.X, recv) {
+		return false
+	}
+	for _, s := range ifs.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentNilPair(a, b ast.Expr, recv string) bool {
+	ai, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok || ai.Name != recv {
+		return false
+	}
+	bi, ok := ast.Unparen(b).(*ast.Ident)
+	return ok && bi.Name == "nil"
+}

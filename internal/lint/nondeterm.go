@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDeterm flags reads of ambient nondeterminism — wall clocks, the
+// global math/rand source, the process environment — inside
+// deterministic packages. One stray time.Now or rand.Float64 in a
+// scoring path silently breaks the byte-identity contract that the
+// paper's reproduction (and the Workers-count invariance tests)
+// depend on.
+//
+// Exemptions:
+//
+//   - obs-recording call sites: time.Now/time.Since whose result flows
+//     only into calls declared in the obs package (span timing "reads
+//     clocks, never steers" — PR 3's determinism contract). Both the
+//     direct form span.Add(time.Since(t0)) and the two-step
+//     t0 := time.Now(); ...; span.Add(time.Since(t0)) are recognized.
+//   - explicitly seeded randomness: rand.New/rand.NewSource construct a
+//     deterministic *rand.Rand from a caller-supplied seed; only the
+//     package-level convenience functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, ...) draw from the shared global source and are
+//     reported.
+var NonDeterm = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "clock/global-rand/environment reads in deterministic packages",
+	Run:  runNonDeterm,
+}
+
+// seededRandCtors are the math/rand functions that build explicitly
+// seeded generators rather than drawing from the global source.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNonDeterm(pass *Pass) {
+	if !pass.Config.deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.calleeOf(call)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			name := fn.Name()
+			switch fn.Pkg().Path() {
+			case "time":
+				if (name == "Now" || name == "Since") && !pass.obsRecording(call) {
+					pass.Reportf(call.Pos(), "time.%s in deterministic package outside an obs-recording call site", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[name] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(seed))", name)
+				}
+			case "os":
+				switch name {
+				case "Getenv", "LookupEnv", "Environ":
+					pass.Reportf(call.Pos(), "os.%s reads the process environment in a deterministic package", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// obsRecording reports whether the clock read at call is an
+// obs-recording site: either nested inside the arguments of a call
+// declared in the obs package, or assigned to a variable whose every
+// use is so nested.
+func (p *Pass) obsRecording(call *ast.CallExpr) bool {
+	if p.insideObsCall(call) {
+		return true
+	}
+	// t := time.Now() — every use of t must feed an obs call
+	// (typically via time.Since(t)).
+	asg, ok := p.parentOf(call).(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) != 1 || ast.Unparen(asg.Rhs[0]) != ast.Unparen(ast.Expr(call)) {
+		return false
+	}
+	id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	body := p.enclosingFuncBody(asg)
+	if body == nil {
+		return false
+	}
+	used := false
+	allObs := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		u, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[u] != obj {
+			return true
+		}
+		used = true
+		if !p.insideObsCall(u) {
+			allObs = false
+		}
+		return true
+	})
+	return used && allObs
+}
+
+// insideObsCall walks up the parent chain looking for an enclosing call
+// whose callee is declared in the obs package, with n on the argument
+// side of that call.
+func (p *Pass) insideObsCall(n ast.Node) bool {
+	for cur := p.parentOf(n); cur != nil; cur = p.parentOf(cur) {
+		call, ok := cur.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if p.calleePkgPath(call) == p.Config.ObsPkg {
+			return true
+		}
+	}
+	return false
+}

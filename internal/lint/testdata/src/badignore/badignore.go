@@ -1,0 +1,22 @@
+// Package badignore exercises the suppression-directive contract:
+// malformed directives are diagnostics themselves and do not suppress.
+package badignore
+
+// MissingReason has a directive without a reason: the directive is
+// reported and the finding survives.
+func MissingReason(a, b float64) bool {
+	//rpmlint:ignore floateq
+	return a == b
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(a, b float64) bool {
+	//rpmlint:ignore nosuchanalyzer because reasons
+	return a == b
+}
+
+// Bare has neither analyzer nor reason.
+func Bare(a, b float64) bool {
+	//rpmlint:ignore
+	return a == b
+}

@@ -1,0 +1,16 @@
+// Package baregoroutine is a golden fixture: go statements outside the
+// exempted concurrency-owning packages are reported.
+package baregoroutine
+
+// Bad spawns an unaccounted goroutine.
+func Bad() {
+	ch := make(chan int)
+	go func() { ch <- 1 }() // want "bare goroutine"
+	<-ch
+}
+
+// GoodIgnored is a deliberate exception with a reason.
+func GoodIgnored(hook func()) {
+	//rpmlint:ignore baregoroutine fixture: fire-and-forget hook may not block the caller
+	go hook()
+}

@@ -1,0 +1,13 @@
+// Package pool plays the worker-pool role: it is exempt from
+// baregoroutine, so its go statements are fine.
+package pool
+
+// Run executes fn on a fresh goroutine and waits for it.
+func Run(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

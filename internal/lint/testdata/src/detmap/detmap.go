@@ -1,0 +1,97 @@
+// Package detmap is a golden fixture for the detmap analyzer: map
+// ranges in a deterministic package whose bodies are order-sensitive
+// must be reported; the sort-the-keys idiom and commutative integer
+// accumulation must not.
+package detmap
+
+import "sort"
+
+// BadCollectNoSort leaks iteration order into the returned slice.
+func BadCollectNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is random"
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadFloatAccum accumulates floats: addition order changes the result.
+func BadFloatAccum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration order is random"
+		s += v
+	}
+	return s
+}
+
+// BadTieBreak tracks an argmax whose winner depends on visit order.
+func BadTieBreak(m map[string]int) string {
+	best := ""
+	bestV := -1
+	for k, v := range m { // want "map iteration order is random"
+		if v > bestV {
+			bestV = v
+			best = k
+		}
+	}
+	return best
+}
+
+// BadCall invokes arbitrary code per element.
+func BadCall(m map[string]int, f func(string)) {
+	for k := range m { // want "map iteration order is random"
+		f(k)
+	}
+}
+
+// GoodSortedKeys is the canonical deterministic idiom.
+func GoodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice collects values and sorts them with sort.Slice.
+func GoodSortSlice(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// GoodIntCount accumulates integers: commutative and exact.
+func GoodIntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+		n++
+	}
+	return n
+}
+
+// GoodDelete prunes entries; keyed deletes commute.
+func GoodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// GoodIgnored is order-free in a way the analyzer cannot prove, so it
+// carries a reasoned suppression.
+func GoodIgnored(m map[string]bool) bool {
+	any := false
+	//rpmlint:ignore detmap boolean OR over all values is order-free
+	for _, v := range m {
+		any = any || v
+	}
+	return any
+}

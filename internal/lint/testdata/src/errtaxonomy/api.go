@@ -1,0 +1,98 @@
+// Package errtaxonomy is a golden fixture for the errtaxonomy
+// analyzer: it mirrors the public rpm package's shape — sentinels, a
+// typed *Error, constructors — and exercises both compliant and
+// escaping returns.
+package errtaxonomy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lintfix/errtaxonomy/internal/dep"
+)
+
+// ErrBadInput is the fixture sentinel.
+var ErrBadInput = errors.New("bad input")
+
+// Error is the fixture's typed error.
+type Error struct {
+	Op   string
+	Kind error
+}
+
+func (e *Error) Error() string { return e.Op + ": " + e.Kind.Error() }
+
+// Unwrap exposes the sentinel.
+func (e *Error) Unwrap() error { return e.Kind }
+
+// apiErr is the fixture constructor.
+func apiErr(op string, kind error) *Error { return &Error{Op: op, Kind: kind} }
+
+// GoodConstructor routes through the constructor.
+func GoodConstructor(x int) error {
+	if x < 0 {
+		return apiErr("GoodConstructor", ErrBadInput)
+	}
+	return nil
+}
+
+// GoodSentinel returns a bare sentinel.
+func GoodSentinel() error { return ErrBadInput }
+
+// GoodLiteral builds the typed error inline.
+func GoodLiteral() error { return &Error{Op: "GoodLiteral", Kind: ErrBadInput} }
+
+// GoodContext passes context errors through unwrapped (documented
+// contract since the cancellation PR).
+func GoodContext(ctx context.Context) error { return ctx.Err() }
+
+// GoodWrappedVar classifies the dep error before returning it.
+func GoodWrappedVar() error {
+	if err := dep.Do(); err != nil {
+		return apiErr("GoodWrappedVar", err)
+	}
+	return nil
+}
+
+// GoodMulti wraps on the error path of a multi-value call.
+func GoodMulti() (int, error) {
+	v, err := dep.Get()
+	if err != nil {
+		return 0, apiErr("GoodMulti", err)
+	}
+	return v, nil
+}
+
+// BadNew returns a raw errors.New.
+func BadNew() error {
+	return errors.New("raw") // want "raw errors.New"
+}
+
+// BadErrorf returns a raw fmt.Errorf.
+func BadErrorf(x int) error {
+	return fmt.Errorf("x = %d", x) // want "raw fmt.Errorf"
+}
+
+// BadPassthrough leaks a dep error directly.
+func BadPassthrough() error {
+	return dep.Do() // want "unclassified error from lintfix/errtaxonomy/internal/dep"
+}
+
+// BadVar leaks a dep error through a local variable.
+func BadVar() error {
+	err := dep.Do()
+	return err // want "unclassified error from lintfix/errtaxonomy/internal/dep"
+}
+
+// BadMulti leaks the error half of a multi-value call.
+func BadMulti() (int, error) {
+	v, err := dep.Get()
+	return v, err // want "unclassified error from lintfix/errtaxonomy/internal/dep"
+}
+
+// unexportedRaw is not public surface; internal helpers are exempt.
+func unexportedRaw() error { return errors.New("fine here") }
+
+// silence unused warnings for the unexported helper
+var _ = unexportedRaw

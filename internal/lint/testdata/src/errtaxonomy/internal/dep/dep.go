@@ -1,0 +1,11 @@
+// Package dep plays the role of an internal package whose raw errors
+// must not escape the public API unclassified.
+package dep
+
+import "errors"
+
+// Do fails with an untyped error.
+func Do() error { return errors.New("dep failed") }
+
+// Get fails with an untyped error alongside a value.
+func Get() (int, error) { return 0, errors.New("dep failed") }

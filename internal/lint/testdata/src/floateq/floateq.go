@@ -1,0 +1,53 @@
+// Package floateq is a golden fixture: exact ==/!= between floats is
+// reported; literal-zero sentinels and the x != x NaN idiom are not.
+package floateq
+
+// Bad compares floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want "exact floating-point == comparison"
+}
+
+// BadNeq compares float32s exactly.
+func BadNeq(a, b float32) bool {
+	return a != b // want "exact floating-point != comparison"
+}
+
+// BadMixed compares a float expression against a non-zero constant.
+func BadMixed(a float64) bool {
+	return a == 1.5 // want "exact floating-point == comparison"
+}
+
+// GoodZero uses 0 as an unset sentinel — exactly representable.
+func GoodZero(a float64) bool {
+	return a == 0
+}
+
+// GoodZeroFloat spells the sentinel as a float literal.
+func GoodZeroFloat(a float64) bool {
+	return 0.0 != a
+}
+
+// GoodNaN is the allocation-free NaN test.
+func GoodNaN(a float64) bool {
+	return a != a
+}
+
+// GoodInts is integer equality: out of scope.
+func GoodInts(a, b int) bool { return a == b }
+
+// GoodTolerance is the recommended pattern.
+func GoodTolerance(a, b float64) bool {
+	const eps = 1e-9
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// GoodIgnored documents an exact-by-construction comparison.
+func GoodIgnored(a float64) bool {
+	b := a
+	//rpmlint:ignore floateq b is a copy of a; equality exact by construction
+	return a == b
+}

@@ -1,0 +1,61 @@
+// Package nilsafeobs is a golden fixture: exported pointer-receiver
+// methods here (the fixture's obs package) must open with a nil guard.
+package nilsafeobs
+
+// Counter is a nil-safe handle.
+type Counter struct{ n int64 }
+
+// GoodAdd guards first.
+func (c *Counter) GoodAdd(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// GoodNilLeft accepts the reversed comparison.
+func (c *Counter) GoodNilLeft() int64 {
+	if nil == c {
+		return 0
+	}
+	return c.n
+}
+
+// GoodOrChain guards via the left-most disjunct of an || chain
+// (short-circuit evaluation reaches the nil test first).
+func (c *Counter) GoodOrChain() int64 {
+	if c == nil || c.n < 0 {
+		return 0
+	}
+	return c.n
+}
+
+// BadInc has no guard at all.
+func (c *Counter) BadInc() { // want "must begin with"
+	c.n++
+}
+
+// BadGuardLate guards after already touching the receiver.
+func (c *Counter) BadGuardLate() { // want "must begin with"
+	c.n++
+	if c == nil {
+		return
+	}
+}
+
+// BadWrongOp guards with != (the then-branch is the live path, so a
+// nil receiver falls through).
+func (c *Counter) BadWrongOp() { // want "must begin with"
+	if c != nil {
+		c.n++
+	}
+}
+
+// ValueCopy has a value receiver: exempt.
+func (c Counter) ValueCopy() int64 { return c.n }
+
+// unexported methods are not part of the handle contract.
+func (c *Counter) unexported() { c.n++ }
+
+// silence unused warning
+var _ = (*Counter).unexported

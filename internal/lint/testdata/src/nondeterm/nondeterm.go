@@ -1,0 +1,67 @@
+// Package nondeterm is a golden fixture for the nondeterm analyzer:
+// clock, global-rand, and environment reads in a deterministic package
+// are reported unless they only feed obs recording.
+package nondeterm
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"lintfix/nondeterm/obs"
+)
+
+func work() {}
+
+// BadClock leaks the wall clock into a return value.
+func BadClock() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+// BadSince reads the clock via Since outside any obs call.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+// GoodObsDirect times straight into an obs call.
+func GoodObsDirect(sp *obs.Span, t0 time.Time) {
+	sp.Add(time.Since(t0))
+}
+
+// GoodObsTwoStep is the t0 := time.Now(); ...; span.Add(time.Since(t0))
+// idiom used throughout internal/core.
+func GoodObsTwoStep(sp *obs.Span) {
+	t0 := time.Now()
+	work()
+	sp.Add(time.Since(t0))
+}
+
+// BadMixedUse records the start time but also returns it, so the clock
+// steers the caller.
+func BadMixedUse(sp *obs.Span) time.Time {
+	t0 := time.Now() // want "time.Now in deterministic package"
+	sp.Add(time.Since(t0))
+	return t0
+}
+
+// BadGlobalRand draws from the process-global source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global source"
+}
+
+// GoodSeededRand derives every draw from a caller-supplied seed.
+func GoodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// BadEnv reads the process environment.
+func BadEnv() string {
+	return os.Getenv("HOME") // want "os.Getenv reads the process environment"
+}
+
+// GoodIgnored is a deliberate exception with a reason.
+func GoodIgnored() int64 {
+	//rpmlint:ignore nondeterm fixture: cache-busting nonce never reaches returned values
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,16 @@
+// Package obs is the fixture stand-in for the real instrumentation
+// package: calls into it count as obs-recording sites for nondeterm.
+package obs
+
+import "time"
+
+// Span accumulates recorded durations.
+type Span struct{ total time.Duration }
+
+// Add folds a duration in. No-op on nil.
+func (s *Span) Add(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.total += d
+}

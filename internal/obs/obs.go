@@ -158,7 +158,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one. No-op on nil.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() int64 {
@@ -300,10 +305,11 @@ type Span struct {
 
 // Start opens a child span. Returns nil on a nil span.
 func (s *Span) Start(name string) *Span {
-	c := s.Child(name)
-	if c != nil {
-		c.start = time.Now()
+	if s == nil {
+		return nil
 	}
+	c := s.Child(name)
+	c.start = time.Now()
 	return c
 }
 

@@ -228,6 +228,7 @@ func (m *Model) TopWords(class, n int) []string {
 		all = append(all, ww{w, x})
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//rpmlint:ignore floateq comparator tie-break needs exact ordering for a strict weak order
 		if all[i].x != all[j].x {
 			return all[i].x > all[j].x
 		}

@@ -13,6 +13,7 @@ package sequitur
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -411,8 +412,20 @@ func (g *Grammar) checkInvariants() error {
 			return fmt.Errorf("rule R%d has %d symbols (< 2)", r.id, n)
 		}
 	}
-	for k, c := range seen {
-		if c > 1 {
+	// Iterate digrams in sorted order so the same broken grammar always
+	// reports the same first violation (detmap invariant).
+	keys := make([][2]int64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if c := seen[k]; c > 1 {
 			// overlapping digrams of equal symbols are permitted (aaa)
 			if k[0] != k[1] {
 				return fmt.Errorf("digram %v appears %d times", k, c)

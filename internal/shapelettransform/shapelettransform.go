@@ -117,6 +117,7 @@ func Train(train ts.Dataset, cfg Config) *Model {
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool {
+		//rpmlint:ignore floateq comparator tie-break needs exact ordering for a strict weak order
 		if all[i].gain != all[j].gain {
 			return all[i].gain > all[j].gain
 		}
@@ -206,6 +207,7 @@ func infoGainSplit(dists []float64, labels []int) (gain, threshold, gap float64)
 	bestGain, bestThr, bestGap := -1.0, 0.0, 0.0
 	for i := 0; i < n-1; i++ {
 		left[labels[idx[i]]]++
+		//rpmlint:ignore floateq adjacent sorted values: no threshold exists strictly between equal stored values
 		if dists[idx[i]] == dists[idx[i+1]] {
 			continue
 		}
@@ -217,6 +219,7 @@ func infoGainSplit(dists []float64, labels []int) (gain, threshold, gap float64)
 		}
 		g := h - (float64(nl)/float64(n))*entropyOf(left, nl) - (float64(nr)/float64(n))*entropyOf(right, nr)
 		gp := dists[idx[i+1]] - dists[idx[i]]
+		//rpmlint:ignore floateq deterministic tie-break between identically computed gains
 		if g > bestGain || (g == bestGain && gp > bestGap) {
 			bestGain = g
 			bestThr = (dists[idx[i]] + dists[idx[i+1]]) / 2

@@ -216,6 +216,7 @@ func WilcoxonSignedRank(a, b []float64) float64 {
 	hasTies := false
 	for i := 0; i < n; {
 		j := i
+		//rpmlint:ignore floateq Wilcoxon rank ties are defined by exact equality of stored values
 		for j < n && ps[j].abs == ps[i].abs {
 			j++
 		}
@@ -244,6 +245,7 @@ func WilcoxonSignedRank(a, b []float64) float64 {
 	// tie correction: subtract sum(t^3 - t)/48 per tie group
 	for i := 0; i < n; {
 		j := i
+		//rpmlint:ignore floateq Wilcoxon rank ties are defined by exact equality of stored values
 		for j < n && ps[j].abs == ps[i].abs {
 			j++
 		}

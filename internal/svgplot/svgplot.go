@@ -291,6 +291,7 @@ func minMax(v []float64) (lo, hi float64) {
 }
 
 func padRange(lo, hi float64) (float64, float64) {
+	//rpmlint:ignore floateq degenerate-range check: lo/hi are copies of the same inputs, equality exact by construction
 	if hi == lo {
 		hi = lo + 1
 	}

@@ -124,6 +124,7 @@ func trainBinary(X [][]float64, y []float64, cfg Config) []float64 {
 			switch {
 			case alpha[i] == 0 && g > 0:
 				pg = 0
+			//rpmlint:ignore floateq alpha is clipped to exactly cfg.C by the box projection below
 			case alpha[i] == cfg.C && g < 0:
 				pg = 0
 			}

@@ -137,7 +137,13 @@ func (r *TrainReport) JSON() ([]byte, error) {
 	if r == nil {
 		return []byte("null"), nil
 	}
-	return json.MarshalIndent(r, "", "  ")
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// A TrainReport is plain data; marshaling it cannot fail unless
+		// an invariant broke, so classify as internal.
+		return nil, apiErr("TrainReport.JSON", ErrInternal, err)
+	}
+	return b, nil
 }
 
 // String renders the report for humans: the stage tree with durations,

@@ -317,8 +317,12 @@ func (c *Classifier) Patterns() []Pattern {
 }
 
 // Save serializes the trained classifier as versioned JSON, suitable for
-// shipping a trained model without its training data.
-func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
+// shipping a trained model without its training data. Failures (a
+// broken writer) surface as typed *Error values like every other public
+// entry point.
+func (c *Classifier) Save(w io.Writer) error {
+	return wrapCoreErr("Save", c.inner.Save(w))
+}
 
 // LoadClassifier deserializes a classifier previously written by Save.
 // The loaded model predicts identically to the original. The snapshot is
@@ -413,8 +417,14 @@ func LoadUCROptions(r io.Reader, opts UCRReadOptions) (Dataset, error) {
 	return out, nil
 }
 
-// SaveUCR writes a dataset in the UCR archive text format.
-func SaveUCR(w io.Writer, d Dataset) error { return dataset.Write(w, toInternal(d)) }
+// SaveUCR writes a dataset in the UCR archive text format. Failures (a
+// broken writer or unwritable values) surface as typed *Error values.
+func SaveUCR(w io.Writer, d Dataset) error {
+	if err := dataset.Write(w, toInternal(d)); err != nil {
+		return apiErr("SaveUCR", ErrBadInput, err)
+	}
+	return nil
+}
 
 // ZNormalize z-normalizes every instance in place (zero mean, unit
 // standard deviation), the standard UCR preprocessing.
