@@ -9,14 +9,18 @@ FUZZTIME ?= 10s
 # --- Benchmark-regression gate (see README "Benchmark gate") ---------------
 # The gated benchmarks cover the pipeline's hot paths: end-to-end fixed-
 # parameter training, single prediction, the transform and predict-batch
-# parallel kernels, the 1NN baselines, and the Matcher short-query path.
-# `make bench-baseline` refreshes the committed baseline; `make
-# bench-gate` re-runs the benches and fails on a >$(MAX_REGRESS)% ns/op
-# regression against it (benchjson aggregates -count samples by min).
-BENCH_GATE_RE = ^Benchmark(RPMTrainFixed|RPMPredict|TransformParallel|PredictBatchParallel|NNEDParallel|NNDTWParallel|MatcherBestShort)$$
-BENCH_GATE_PKGS = . ./internal/core ./internal/nn ./internal/dist
-BENCH_BASELINE = BENCH_PR4.json
-BENCH_CURRENT = BENCH_PR4.tmp.json
+# parallel kernels, the single-query transform kernel, the serving-layer
+# predict and flush paths, the 1NN baselines, and the Matcher
+# short-query path. `make bench-baseline` refreshes the committed
+# baseline; `make bench-gate` re-runs the benches and fails on a
+# >$(MAX_REGRESS)% ns/op regression against it (benchjson aggregates
+# -count samples by min). Both the selection regex and the package list
+# are overridable (`make bench-json BENCH_GATE_RE=...`) so one-off runs
+# can benchmark a subset without editing this file.
+BENCH_GATE_RE ?= ^Benchmark(RPMTrainFixed|RPMPredict|TransformParallel|TransformInto|PredictBatchParallel|ServePredict|BatcherFlush|NNEDParallel|NNDTWParallel|MatcherBestShort)$$
+BENCH_GATE_PKGS ?= . ./internal/core ./internal/nn ./internal/dist ./internal/serve
+BENCH_BASELINE = BENCH_PR6.json
+BENCH_CURRENT = BENCH_PR6.tmp.json
 MAX_REGRESS ?= 25
 BENCH_GATE_RUN = $(GO) test -run xxx -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 100ms -count 3 $(BENCH_GATE_PKGS)
 
@@ -45,7 +49,7 @@ COVER_PKGS = . \
 	./internal/obs
 
 .PHONY: all build test race vet lint bench fuzz cover check \
-	bench-json bench-gate bench-baseline
+	bench-json bench-gate bench-baseline load-smoke
 
 all: check
 
@@ -110,4 +114,11 @@ bench-gate: bench-json
 bench-baseline:
 	$(BENCH_GATE_RUN) | $(GO) run ./cmd/benchjson -o $(BENCH_BASELINE)
 
-check: build vet lint test race cover fuzz
+# Sustained-load smoke: train a model, serve it with rpmserved, drive it
+# with rpmload (closed loop, strict) for LOAD_SMOKE_DURATION. Fails on
+# zero completed requests or any error envelope / transport error.
+LOAD_SMOKE_DURATION ?= 2s
+load-smoke:
+	./scripts/load_smoke.sh $(LOAD_SMOKE_DURATION)
+
+check: build vet lint test race cover fuzz load-smoke

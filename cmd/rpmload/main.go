@@ -1,0 +1,309 @@
+// Command rpmload is a load generator for rpmserved: it drives the
+// /v1/predict endpoint with synthetic queries in either a closed loop
+// (-concurrency workers, each issuing the next request as soon as the
+// previous one returns — measures capacity) or an open loop (-rate
+// requests/sec on a fixed schedule regardless of responses — measures
+// latency under a target arrival rate, the methodology that avoids
+// coordinated omission). Latencies accumulate into an obs.Summary, the
+// same power-of-two-bucket histogram the server reports, so client- and
+// server-side percentiles are directly comparable.
+//
+// Exit status: 0 on a clean run; 1 under -strict when nothing completed
+// or any request failed (non-200 envelope or transport error); 2 on
+// usage errors.
+//
+//	rpmload -addr http://localhost:8080 -duration 10s -concurrency 8
+//	rpmload -rate 200 -duration 30s -strict
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpm/internal/obs"
+)
+
+// predictRequest / errorEnvelope mirror the serving layer's public JSON
+// shapes (kept in sync by the load-smoke CI run).
+type predictRequest struct {
+	Model  string    `json:"model,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// counter/summary names of the run registry.
+const (
+	ctrOK        = "load.ok"
+	ctrErrors    = "load.errors"
+	ctrTransport = "load.errors.transport"
+	ctrDropped   = "load.dropped"
+	sumLatency   = "load.latency"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "rpmserved base URL")
+		model       = flag.String("model", "", "model name (empty = server default)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured run length")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers (also the open-loop in-flight cap multiplier)")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		seriesLen   = flag.Int("series-len", 128, "length of each synthetic query series")
+		queries     = flag.Int("queries", 64, "distinct synthetic series cycled through")
+		seed        = flag.Int64("seed", 1, "query-generation seed")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		wait        = flag.Duration("wait", 0, "poll /readyz this long for the server to come up before loading")
+		strict      = flag.Bool("strict", false, "exit 1 when nothing completed or any request failed")
+		jsonOut     = flag.Bool("json", false, "emit the summary as JSON instead of text")
+	)
+	flag.Parse()
+	if *concurrency < 1 || *seriesLen < 1 || *queries < 1 || *duration <= 0 || *rate < 0 {
+		fmt.Fprintln(os.Stderr, "rpmload: -concurrency, -series-len, -queries and -duration must be positive; -rate non-negative")
+		os.Exit(2)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * *concurrency,
+			MaxIdleConnsPerHost: 4 * *concurrency,
+		},
+	}
+	if *wait > 0 {
+		if err := waitReady(client, *addr, *wait); err != nil {
+			fmt.Fprintf(os.Stderr, "rpmload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Pre-marshal the request bodies: the generator must not spend its
+	// loop on JSON encoding.
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, *queries)
+	for i := range bodies {
+		v := make([]float64, *seriesLen)
+		x := 0.0
+		for j := range v {
+			x += rng.NormFloat64()
+			v[j] = x
+		}
+		b, err := json.Marshal(predictRequest{Model: *model, Values: v})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpmload: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		bodies[i] = b
+	}
+
+	reg := obs.NewRegistry()
+	g := &loadgen{
+		client: client,
+		url:    *addr + "/v1/predict",
+		bodies: bodies,
+		ok:     reg.Counter(ctrOK),
+		errs:   reg.Counter(ctrErrors),
+		trans:  reg.Counter(ctrTransport),
+		drops:  reg.Counter(ctrDropped),
+		lat:    reg.Summary(sumLatency),
+		errsBy: reg,
+	}
+
+	start := time.Now()
+	if *rate > 0 {
+		g.openLoop(*rate, *duration, *concurrency)
+	} else {
+		g.closedLoop(*duration, *concurrency)
+	}
+	elapsed := time.Since(start)
+
+	report(os.Stdout, reg, *rate, *concurrency, elapsed, *jsonOut)
+	if *strict {
+		snap := reg.Snapshot()
+		if snap.Counter(ctrOK) == 0 || snap.Counter(ctrErrors) > 0 || snap.Counter(ctrTransport) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// waitReady polls GET /readyz until it answers 200 or the budget runs out.
+func waitReady(client *http.Client, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %v: %v", budget, err)
+			}
+			return fmt.Errorf("server not ready after %v", budget)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// loadgen issues requests and classifies outcomes into the registry.
+type loadgen struct {
+	client *http.Client
+	url    string
+	bodies [][]byte
+	next   atomic.Int64
+
+	ok     *obs.Counter
+	errs   *obs.Counter
+	trans  *obs.Counter
+	drops  *obs.Counter
+	lat    *obs.Summary
+	errsBy *obs.Registry
+}
+
+// one issues a single request and records its outcome. The latency of
+// every completed exchange (success or error envelope) is observed;
+// transport failures have no meaningful service time and are only
+// counted.
+func (g *loadgen) one() {
+	body := g.bodies[int(g.next.Add(1)-1)%len(g.bodies)]
+	start := time.Now()
+	resp, err := g.client.Post(g.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		g.trans.Inc()
+		return
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	g.lat.Observe(time.Since(start))
+	if err != nil {
+		g.trans.Inc()
+		return
+	}
+	if resp.StatusCode == http.StatusOK {
+		g.ok.Inc()
+		return
+	}
+	g.errs.Inc()
+	var env errorEnvelope
+	code := "http_" + strconv.Itoa(resp.StatusCode)
+	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		code = env.Error.Code
+	}
+	g.errsBy.Counter("load.errors." + code).Inc()
+}
+
+// closedLoop runs workers goroutines, each issuing back-to-back requests
+// until the deadline.
+func (g *loadgen) closedLoop(d time.Duration, workers int) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				g.one()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop fires requests on a fixed schedule (rate per second) for d,
+// each in its own goroutine so a slow response never delays the next
+// arrival. In-flight requests are capped at 256×workers; an arrival that
+// finds the cap exhausted is dropped AND counted — silently skipping it
+// would hide the very overload the open loop exists to expose.
+func (g *loadgen) openLoop(rate float64, d time.Duration, workers int) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sem := make(chan struct{}, 256*workers)
+	deadline := time.Now().Add(d)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				g.one()
+			}()
+		default:
+			g.drops.Inc()
+		}
+	}
+	wg.Wait()
+}
+
+// report prints the run summary: mode, throughput, outcome counts and
+// the latency distribution.
+func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed time.Duration, asJSON bool) {
+	snap := reg.Snapshot()
+	ok := snap.Counter(ctrOK)
+	errs := snap.Counter(ctrErrors)
+	trans := snap.Counter(ctrTransport)
+	drops := snap.Counter(ctrDropped)
+	mode := fmt.Sprintf("closed-loop, %d workers", workers)
+	if rate > 0 {
+		mode = fmt.Sprintf("open-loop, %.0f req/s target", rate)
+	}
+	throughput := float64(ok) / elapsed.Seconds()
+	lat := snap.Summary(sumLatency)
+	if asJSON {
+		out := map[string]any{
+			"mode":       mode,
+			"elapsed":    elapsed.String(),
+			"completed":  ok,
+			"errors":     errs,
+			"transport":  trans,
+			"dropped":    drops,
+			"throughput": throughput,
+		}
+		if lat != nil {
+			out["latency"] = lat
+		}
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+	fmt.Fprintf(w, "rpmload: %s, %v elapsed\n", mode, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "completed %d (%.1f req/s)  errors %d  transport-errors %d  dropped %d\n",
+		ok, throughput, errs, trans, drops)
+	if lat != nil && lat.Count > 0 {
+		fmt.Fprintf(w, "latency  mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+			time.Duration(lat.MeanNS).Round(10*time.Microsecond),
+			time.Duration(lat.P50NS).Round(10*time.Microsecond),
+			time.Duration(lat.P90NS).Round(10*time.Microsecond),
+			time.Duration(lat.P99NS).Round(10*time.Microsecond),
+			time.Duration(lat.MaxNS).Round(10*time.Microsecond))
+	}
+	for _, c := range snap.Counters {
+		if len(c.Name) > len("load.errors.") && c.Name[:len("load.errors.")] == "load.errors." && c.Name != ctrTransport {
+			fmt.Fprintf(w, "  %s: %d\n", c.Name, c.Value)
+		}
+	}
+}

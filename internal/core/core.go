@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"rpm/internal/dist"
@@ -257,10 +258,49 @@ func (c *Classifier) ensureTransformer() {
 }
 
 // transformer caches per-pattern matchers so the pattern z-normalization
-// is done once, not once per (pattern, instance) pair.
+// is done once, not once per (pattern, instance) pair, and groups the
+// matchers by pattern length so every pattern of one length reads the
+// same precomputed rolling-window statistics of the query (dist.Query) —
+// one mean/variance sweep per (query, length) instead of one per
+// (query, pattern). Each scan is seeded with the position the same
+// matcher matched best on the previous query handled by the same
+// scratch, which primes the early-abandon bound from window zero
+// (DESIGN.md §12). Both reuses are bit-identical to the naive
+// per-matcher sweep by construction, pinned by TestTransformerKernelEquivalence.
 type transformer struct {
 	matchers []*dist.Matcher
-	rotInv   bool
+	// ordered is the matchers re-sorted into group (length) order so
+	// each group is a contiguous slice; featOf[j] maps ordered[j] back
+	// to its feature slot (= original pattern index).
+	ordered []*dist.Matcher
+	featOf  []int
+	groups  []matcherGroup
+	rotInv  bool
+	// scratch pools per-worker query state (window stats, rotation
+	// buffer, abandon seeds, feature row) so steady-state transforms
+	// allocate nothing.
+	scratch sync.Pool
+}
+
+// matcherGroup is one pattern length's half-open range [lo, hi) into the
+// transformer's grouped ordering.
+type matcherGroup struct {
+	n      int
+	lo, hi int
+}
+
+// transformScratch is the per-worker state of the transform kernels. It
+// is pooled, never shared between concurrent queries, and carries the
+// early-abandon seeds across consecutive queries on the same worker
+// (any seed is correct; a recent one is merely tight). seeds, rotSeeds
+// and outs are indexed in the transformer's grouped ordering.
+type transformScratch struct {
+	q, rq    *dist.Query
+	rotated  []float64
+	seeds    []int
+	rotSeeds []int
+	outs     []dist.Match
+	feat     []float64
 }
 
 func newTransformer(patterns []Pattern, rotInv bool) *transformer {
@@ -268,25 +308,103 @@ func newTransformer(patterns []Pattern, rotInv bool) *transformer {
 	for _, p := range patterns {
 		t.matchers = append(t.matchers, dist.NewMatcher(p.Values))
 	}
+	// Group by length, ascending, preserving pattern order within each
+	// group (output slots are per-pattern, so group order is free; the
+	// sort just makes the stats-build order deterministic and cheap
+	// lengths first).
+	byLen := make(map[int][]int)
+	for k, m := range t.matchers {
+		byLen[m.Len()] = append(byLen[m.Len()], k)
+	}
+	lens := make([]int, 0, len(byLen))
+	for n := range byLen {
+		lens = append(lens, n)
+	}
+	sort.Ints(lens)
+	for _, n := range lens {
+		lo := len(t.ordered)
+		for _, k := range byLen[n] {
+			t.ordered = append(t.ordered, t.matchers[k])
+			t.featOf = append(t.featOf, k)
+		}
+		t.groups = append(t.groups, matcherGroup{n: n, lo: lo, hi: len(t.ordered)})
+	}
+	t.scratch.New = func() any {
+		k := len(t.matchers)
+		sc := &transformScratch{
+			q:     dist.NewQuery(nil),
+			seeds: make([]int, k),
+			outs:  make([]dist.Match, k),
+			feat:  make([]float64, k),
+		}
+		for i := range sc.seeds {
+			sc.seeds[i] = -1
+		}
+		if rotInv {
+			sc.rq = dist.NewQuery(nil)
+			sc.rotSeeds = make([]int, k)
+			for i := range sc.rotSeeds {
+				sc.rotSeeds[i] = -1
+			}
+		}
+		return sc
+	}
 	return t
 }
 
+func (t *transformer) getScratch() *transformScratch { return t.scratch.Get().(*transformScratch) }
+func (t *transformer) putScratch(sc *transformScratch) {
+	sc.q.Reset(nil)
+	if sc.rq != nil {
+		sc.rq.Reset(nil)
+	}
+	t.scratch.Put(sc)
+}
+
+// apply transforms one series into a freshly allocated row (the public
+// Transform contract: callers may retain the result).
 func (t *transformer) apply(v []float64) []float64 {
 	out := make([]float64, len(t.matchers))
-	var rotated []float64
+	sc := t.getScratch()
+	t.applyInto(out, v, sc)
+	t.putScratch(sc)
+	return out
+}
+
+// applyInto transforms one series into the caller-provided dst row
+// (len(dst) must be the pattern count) using sc's pooled query state.
+// This is the allocation-free predict-path kernel: one Query stats pass
+// per pattern length, each matcher seeded with its previous best
+// position.
+func (t *transformer) applyInto(dst []float64, v []float64, sc *transformScratch) {
+	sc.q.Reset(v)
 	if t.rotInv {
-		rotated = ts.RotateHalf(v)
+		sc.rotated = ts.RotateHalfInto(sc.rotated, v)
+		sc.rq.Reset(sc.rotated)
 	}
-	for k, m := range t.matchers {
-		d := m.Best(v).Dist
+	for _, g := range t.groups {
+		ms := t.ordered[g.lo:g.hi]
+		dist.BestQueryGroup(ms, sc.q, sc.seeds[g.lo:g.hi], sc.outs[g.lo:g.hi])
+		for a := g.lo; a < g.hi; a++ {
+			bm := sc.outs[a]
+			if bm.Pos >= 0 {
+				sc.seeds[a] = bm.Pos
+			}
+			dst[t.featOf[a]] = bm.Dist
+		}
 		if t.rotInv {
-			if d2 := m.Best(rotated).Dist; d2 < d {
-				d = d2
+			dist.BestQueryGroup(ms, sc.rq, sc.rotSeeds[g.lo:g.hi], sc.outs[g.lo:g.hi])
+			for a := g.lo; a < g.hi; a++ {
+				rm := sc.outs[a]
+				if rm.Pos >= 0 {
+					sc.rotSeeds[a] = rm.Pos
+				}
+				if rm.Dist < dst[t.featOf[a]] {
+					dst[t.featOf[a]] = rm.Dist
+				}
 			}
 		}
-		out[k] = d
 	}
-	return out
 }
 
 // applyAll transforms a whole dataset on up to workers goroutines (the
@@ -299,11 +417,19 @@ func (t *transformer) applyAll(d ts.Dataset, workers int) [][]float64 {
 }
 
 // applyAllPool is applyAll with optional worker-pool accounting (nil
-// pool ⇒ exactly applyAll).
+// pool ⇒ exactly applyAll). The rows are sliced out of one flat slab
+// (full-capped, so appends cannot bleed across rows) — one allocation
+// for the whole matrix instead of one per instance.
 func (t *transformer) applyAllPool(d ts.Dataset, workers int, pool *obs.Pool) [][]float64 {
+	k := len(t.matchers)
 	X := make([][]float64, len(d))
+	slab := make([]float64, len(d)*k)
 	parallel.ForPool(len(d), workers, pool, func(i int) {
-		X[i] = t.apply(d[i].Values)
+		sc := t.getScratch()
+		row := slab[i*k : (i+1)*k : (i+1)*k]
+		t.applyInto(row, d[i].Values, sc)
+		X[i] = row
+		t.putScratch(sc)
 	})
 	return X
 }
@@ -320,9 +446,17 @@ func (c *Classifier) Predict(v []float64) int {
 		return c.predictFallback(v)
 	}
 	if c.custom != nil {
+		// Custom predictors get a fresh row: their Predict contract does
+		// not forbid retaining the argument, so the pooled buffer below
+		// is reserved for the built-in SVM (which only reads it).
 		return c.custom.Predict(c.Transform(v))
 	}
-	return c.model.Predict(c.Transform(v))
+	c.ensureTransformer()
+	sc := c.tf.getScratch()
+	c.tf.applyInto(sc.feat, v, sc)
+	label := c.model.Predict(sc.feat)
+	c.tf.putScratch(sc)
+	return label
 }
 
 // PredictBatch classifies every instance of test, fanning the queries out

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops items and the
+// runtime allocates for instrumentation — allocation-count assertions
+// are meaningless there.
+const raceEnabled = true

@@ -63,6 +63,54 @@ func BenchmarkTransformParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkTransformKernels compares the naive per-matcher sweep (one
+// rolling stats pass per pattern, unseeded, the pre-Query kernel) against
+// the shared-stats seeded kernel on the identical fixture, in the same
+// process — the ratio is immune to machine-speed drift between runs,
+// unlike absolute ns/op against a committed baseline.
+func BenchmarkTransformKernels(b *testing.B) {
+	clf, data := benchFixture(b)
+	clf.ensureTransformer()
+	t := clf.tf
+	b.Run("naive", func(b *testing.B) {
+		out := make([]float64, len(t.matchers))
+		for i := 0; i < b.N; i++ {
+			for _, inst := range data {
+				for k, m := range t.matchers {
+					out[k] = m.Best(inst.Values).Dist
+				}
+			}
+		}
+	})
+	b.Run("query-seeded", func(b *testing.B) {
+		out := make([]float64, len(t.matchers))
+		sc := t.getScratch()
+		defer t.putScratch(sc)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, inst := range data {
+				t.applyInto(out, inst.Values, sc)
+			}
+		}
+	})
+}
+
+// BenchmarkTransformInto measures one series through the allocation-free
+// transform kernel (shared window stats, seeded early abandon, pooled
+// scratch) — the per-query cost floor of the predict path.
+func BenchmarkTransformInto(b *testing.B) {
+	clf, data := benchFixture(b)
+	clf.ensureTransformer()
+	sc := clf.tf.getScratch()
+	defer clf.tf.putScratch(sc)
+	out := make([]float64, len(clf.tf.matchers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.tf.applyInto(out, data[i%len(data)].Values, sc)
+	}
+}
+
 // BenchmarkPredictBatchParallel measures batch classification (transform
 // + SVM per query) at GOMAXPROCS workers vs the sequential path.
 func BenchmarkPredictBatchParallel(b *testing.B) {

@@ -60,12 +60,20 @@ type Match struct {
 // transform stage where every pattern is matched against every instance.
 type Matcher struct {
 	zp []float64
+	// zpSq is Σzp², accumulated in index order — the exact distance the
+	// kernel's constant-window branch computes, precomputed once so the
+	// Query path (bestMatchZStats) can compare it without re-summing.
+	zpSq float64
 }
 
 // NewMatcher prepares a matcher for the given pattern (which is copied and
 // z-normalized).
 func NewMatcher(pattern []float64) *Matcher {
-	return &Matcher{zp: ts.ZNorm(pattern)}
+	m := &Matcher{zp: ts.ZNorm(pattern)}
+	for _, x := range m.zp {
+		m.zpSq += x * x
+	}
+	return m
 }
 
 // Len returns the pattern length.

@@ -1,0 +1,409 @@
+package dist
+
+import (
+	"math"
+
+	"rpm/internal/ts"
+)
+
+// WindowStats is the precomputed per-window normalization state of one
+// series at one window length: Mean[i] and Inv[i] (1/std, or 0 for a
+// constant window) for the window starting at position i. The values are
+// produced by the exact rolling-sum recurrence bestMatchZ uses, so a scan
+// that reads them computes bit-identical distances to a scan that derives
+// them inline — the property that lets every pattern of one length share
+// a single stats pass (paper §5.3: the early-abandoned ED matching is the
+// classification hot path; this removes its per-pattern redundancy).
+type WindowStats struct {
+	n    int
+	mean []float64
+	inv  []float64
+	// lb is per-scan scratch for the streaming first-elements prepass
+	// (see bestMatchZStats); its contents are pattern-specific and valid
+	// only within one scan.
+	lb []float64
+}
+
+// Len returns the window length the stats were computed for.
+func (w *WindowStats) Len() int { return w.n }
+
+// Windows returns the number of windows covered.
+func (w *WindowStats) Windows() int { return len(w.mean) }
+
+// compute fills the stats for series at window length n (0 < n <=
+// len(series)), reusing the existing backing arrays when large enough.
+// The recurrence — initial sum over series[:n], then sum += in-out per
+// step — mirrors bestMatchZ exactly; do not "simplify" it to prefix-sum
+// differences, which round differently and break bit-identity.
+func (w *WindowStats) compute(series []float64, n int) {
+	nw := len(series) - n + 1
+	w.n = n
+	if cap(w.mean) < nw {
+		w.mean = make([]float64, nw)
+		w.inv = make([]float64, nw)
+	}
+	w.mean = w.mean[:nw]
+	w.inv = w.inv[:nw]
+	var sum, sumsq float64
+	for _, x := range series[:n] {
+		sum += x
+		sumsq += x * x
+	}
+	fn := float64(n)
+	for i := 0; ; i++ {
+		mean := sum / fn
+		variance := sumsq/fn - mean*mean
+		w.mean[i] = mean
+		if variance < ts.ZNormThreshold*ts.ZNormThreshold {
+			w.inv[i] = 0 // constant window sentinel: z-norm is the zero vector
+		} else {
+			w.inv[i] = 1 / math.Sqrt(variance)
+		}
+		if i+n >= len(series) {
+			break
+		}
+		out := series[i]
+		in := series[i+n]
+		sum += in - out
+		sumsq += in*in - out*out
+	}
+}
+
+// Query is the shared per-series state of a closest-match query: the
+// series plus lazily computed, cached WindowStats for every pattern
+// length it has been matched at. One Query pays each length's rolling
+// mean/variance sweep once, however many patterns of that length are
+// matched against it (the transform stage matches all K patterns against
+// the same series). Reset recycles the backing arrays, so a pooled Query
+// makes the whole transform allocation-free in steady state.
+//
+// A Query is NOT safe for concurrent use; pool one per worker.
+type Query struct {
+	series []float64
+	stats  []*WindowStats // cache, ordered by first use within this query
+}
+
+// NewQuery returns a query over series. The series is referenced, not
+// copied; it must not be mutated while the query is in use.
+func NewQuery(series []float64) *Query {
+	q := &Query{}
+	q.Reset(series)
+	return q
+}
+
+// Reset re-targets the query at a new series, invalidating the cached
+// stats but keeping their backing arrays for reuse.
+func (q *Query) Reset(series []float64) {
+	q.series = series
+	for _, st := range q.stats {
+		st.n = 0 // mark invalid; arrays kept
+	}
+	q.stats = q.stats[:0]
+}
+
+// Series returns the series the query wraps.
+func (q *Query) Series() []float64 { return q.series }
+
+// Stats returns the window stats for length n, computing and caching
+// them on first use. It panics if n is out of (0, len(series)].
+func (q *Query) Stats(n int) *WindowStats {
+	if n <= 0 || n > len(q.series) {
+		panic("dist: Query.Stats window length out of range")
+	}
+	for _, st := range q.stats {
+		if st.n == n {
+			return st
+		}
+	}
+	// Recycle an invalidated entry's arrays if one is spare. Invalidated
+	// entries live past len(q.stats) in the backing array after Reset.
+	var st *WindowStats
+	if extra := q.stats[:cap(q.stats)]; len(extra) > len(q.stats) {
+		st = extra[len(q.stats)]
+	}
+	if st == nil {
+		st = &WindowStats{}
+	}
+	st.compute(q.series, n)
+	q.stats = append(q.stats, st)
+	return st
+}
+
+// BestQuery is Best with the window statistics shared through q: the
+// rolling mean/variance sweep is read from q's cache (computed once per
+// pattern length) instead of being re-derived per pattern. The returned
+// Match is bit-identical to Best(q.Series()).
+func (m *Matcher) BestQuery(q *Query) Match { return m.BestQuerySeeded(q, -1) }
+
+// BestQuerySeeded is BestQuery with an early-abandon seed: when seedPos
+// is a valid window start, that window is fully evaluated first and its
+// distance primes the abandon bound, so the left-to-right scan abandons
+// against a tight threshold from window zero instead of warming up from
+// +Inf. Any seed yields a bit-identical Match (ties resolve to the
+// lowest position, as in the unseeded scan); a good seed — e.g. the
+// previous query's best position, which nearby queries tend to repeat —
+// only makes the scan cheaper. seedPos < 0 or out of range disables
+// seeding.
+func (m *Matcher) BestQuerySeeded(q *Query, seedPos int) Match {
+	series := q.series
+	if len(m.zp) == 0 || len(series) == 0 {
+		return Match{Dist: math.Inf(1), Pos: -1}
+	}
+	if len(m.zp) > len(series) {
+		// Short query: the roles swap and the stats (computed over the
+		// series, not the pattern) no longer apply — route through Best.
+		return m.Best(series)
+	}
+	return bestMatchZStats(m.zp, series, q.Stats(len(m.zp)), m.zpSq, seedPos)
+}
+
+// bestMatchZStats is bestMatchZ reading precomputed window stats, with
+// optional seeding. Invariant (pinned by quick.Check in query_test.go):
+// for any seedPos the result is bit-identical to bestMatchZ(zp, series).
+//
+// Why seeding preserves the result: the scan updates on d < best, plus a
+// tie rule (d == best && i < bestPos) that only the seed can trigger —
+// during the left-to-right scan best is non-increasing and bestPos only
+// moves forward, so a scan-set bestPos is never undercut. Early
+// abandoning never hides a tie: a window whose true distance equals best
+// has non-decreasing partial sums bounded by best, and the abandon test
+// is strictly d > best. The scan skips the seed position itself: its
+// exact distance is already in hand and, since best <= that value
+// throughout, re-evaluating it can never update best or bestPos.
+//
+// zpSq is the precomputed Σzp² (the exact value the constant-window
+// branch would accumulate; see NewMatcher).
+func bestMatchZStats(zp, series []float64, st *WindowStats, zpSq float64, seedPos int) Match {
+	n := len(zp)
+	fn := float64(n)
+	nw := len(series) - n + 1
+	best := math.Inf(1)
+	bestPos := -1
+	if seedPos >= 0 && seedPos < nw {
+		best = windowDistStats(zp, series, st, seedPos, math.Inf(1))
+		bestPos = seedPos
+	} else {
+		seedPos = -1
+	}
+	means, invs := st.mean, st.inv
+	// Two-pass scan: a coarse stride pass first, then the skipped
+	// windows. Window distances vary smoothly with position, so the
+	// coarse pass lands near the global minimum quickly and the fine
+	// pass abandons almost immediately everywhere else. ANY visit order
+	// produces the identical Match: non-abandoned distances are exact
+	// and order-independent, abandoned windows (partial sum > best) can
+	// never update best, and the tie rule keeps the lowest position
+	// regardless of when it is visited.
+	// Each window goes through two phases.
+	//
+	// Phase 1 — margin filter: the squared distance is re-derived with
+	// FOUR independent accumulators, which breaks the serial add
+	// dependency chain that caps the exact kernel at one element per
+	// ~4-cycle add latency. A reordered sum is NOT bit-identical to the
+	// in-order sum, so it is never reported; it is only compared against
+	// thresh = best·relMargin, where relMargin covers the worst-case
+	// relative spread between any two floating-point summations of the
+	// same n non-negative terms (≤ ~2(n+4)u each vs the real value, u =
+	// 2⁻⁵³; relMargin grows with n and exceeds that bound by >100×).
+	// If the reordered partial exceeds thresh, the real value exceeds
+	// best strictly, and the in-order full sum — which is monotone
+	// non-decreasing, fl(d+t) ≥ d for t ≥ 0 — exceeds best too: the
+	// window can neither update best nor tie it, so rejecting it cannot
+	// change the result. NaN inputs compare false and fall through to
+	// phase 2, which handles them exactly as the naive kernel does.
+	//
+	// Phase 2 — exact evaluation: survivors (near-optimal windows and
+	// ties; the margin makes false rejection impossible, false survival
+	// merely costs this re-evaluation) are re-accumulated in strict
+	// index order with the per-element abandon test, the bit-identical
+	// arithmetic of bestMatchZ. Only phase 2 updates best/bestPos.
+	relMargin := 1 + 1e-12 + float64(n)*1e-15
+	thresh := best * relMargin
+	// Streaming prepass: the filter's first four terms are computed for
+	// EVERY window in one branch-free sequential sweep (zp[0..3] live in
+	// registers, means/invs/lb stream), so the scan below rejects the
+	// common far-from-matching window with a single load-and-compare
+	// instead of a window setup plus a filter iteration. lb[i] is a
+	// floating-point sum of a subset of window i's terms in some
+	// association — exactly what the margin analysis above covers — and
+	// for a constant window (inv = 0) its terms degrade to zp[j]², a
+	// subset of the Σzp² that window compares, so one uniform test is
+	// sound for both paths. Survivors resume the filter at element 4
+	// with s0 seeded from lb[i] (again just a different association).
+	var lb []float64
+	preN := 0
+	if n >= 4 {
+		if cap(st.lb) < nw {
+			st.lb = make([]float64, nw)
+		}
+		lb = st.lb[:nw]
+		preN = 4
+		zp0, zp1, zp2, zp3 := zp[0], zp[1], zp[2], zp[3]
+		for i := range lb {
+			mean, inv := means[i], invs[i]
+			e0 := (series[i]-mean)*inv - zp0
+			e1 := (series[i+1]-mean)*inv - zp1
+			e2 := (series[i+2]-mean)*inv - zp2
+			e3 := (series[i+3]-mean)*inv - zp3
+			lb[i] = (e0*e0 + e1*e1) + (e2*e2 + e3*e3)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+	scan:
+		for i := 0; i < nw; i++ {
+			if pass == 0 {
+				if i%scanStride != 0 {
+					continue
+				}
+			} else if i%scanStride == 0 {
+				continue
+			}
+			if lb != nil && lb[i] > thresh {
+				// Sound reject for i == seedPos too: the seed's exact
+				// distance is already in best, so skipping it is the
+				// scan's normal seed skip.
+				continue
+			}
+			if i == seedPos {
+				continue // exact distance known: best <= it, no update possible
+			}
+			var d float64
+			inv := invs[i]
+			if inv == 0 {
+				// Constant window: z-norm is the zero vector, so the
+				// distance is Σzp² — precomputed with the identical
+				// accumulation order, so comparing it IS the exact
+				// phase-2 comparison.
+				d = zpSq
+			} else {
+				mean := means[i]
+				w := series[i : i+n]
+				zpw := zp[:len(w)] // BCE hint: len(zpw) == len(w)
+				if !math.IsInf(thresh, 1) {
+					// An infinite thresh (no best yet) can never reject;
+					// skip straight to the exact pass in that case rather
+					// than paying both.
+					var s0, s1, s2, s3 float64
+					j := 0
+					if lb != nil {
+						s0 = lb[i]
+						j = preN
+					}
+					for ; j+3 < len(w); j += 4 {
+						e0 := (w[j]-mean)*inv - zpw[j]
+						s0 += e0 * e0
+						e1 := (w[j+1]-mean)*inv - zpw[j+1]
+						s1 += e1 * e1
+						e2 := (w[j+2]-mean)*inv - zpw[j+2]
+						s2 += e2 * e2
+						e3 := (w[j+3]-mean)*inv - zpw[j+3]
+						s3 += e3 * e3
+						if s0+s1+s2+s3 > thresh {
+							continue scan
+						}
+					}
+					for ; j < len(w); j++ {
+						et := (w[j]-mean)*inv - zpw[j]
+						s0 += et * et
+					}
+					if s0+s1+s2+s3 > thresh {
+						continue scan
+					}
+				}
+				// Survivor: exact in-order re-evaluation.
+				for k, x := range w {
+					diff := (x-mean)*inv - zpw[k]
+					d += diff * diff
+					if d > best {
+						continue scan
+					}
+				}
+			}
+			if d < best {
+				best = d
+				bestPos = i
+				thresh = best * relMargin
+				continue
+			}
+			//rpmlint:ignore floateq scan tie rule: an exact distance tie must resolve to the lowest position whatever the visit order, mirroring the naive first-strict-improvement scan
+			if d == best && (bestPos < 0 || i < bestPos) {
+				bestPos = i
+			}
+		}
+	}
+	return Match{Dist: math.Sqrt(best / fn), Pos: bestPos}
+}
+
+// scanStride is the coarse-pass step of the two-pass window scan.
+const scanStride = 8
+
+// BestQueryGroup matches every matcher of ms — which must all share one
+// pattern length — against q, writing out[k] =
+// ms[k].BestQuerySeeded(q, seeds[k]) bit-identically (Dist AND Pos;
+// pinned by TestBestQueryGroupBitIdentical). seeds may be nil for an
+// unseeded sweep, otherwise len(seeds) == len(ms); out must have
+// len(ms).
+//
+// The group entry point exists so a caller holding same-length matchers
+// (the transformer groups patterns by length) states that intent once:
+// the first matcher's scan computes the shared rolling window stats
+// into q's cache and every further matcher of the group reads them
+// back, paying the mean/variance sweep once per (query, length) instead
+// of once per pattern. A window-major variant that also shared each
+// window's z-normalized values across the group was measured slower
+// than the per-matcher scans on real workloads (patterns abandon within
+// a few elements, so the shared values are rarely re-read while the
+// extra stores and bookkeeping are always paid) and was dropped.
+func BestQueryGroup(ms []*Matcher, q *Query, seeds []int, out []Match) {
+	if len(out) != len(ms) {
+		panic("dist: BestQueryGroup out length mismatch")
+	}
+	if seeds != nil && len(seeds) != len(ms) {
+		panic("dist: BestQueryGroup seeds length mismatch")
+	}
+	if len(ms) == 0 {
+		return
+	}
+	n := ms[0].Len()
+	for _, m := range ms[1:] {
+		if m.Len() != n {
+			panic("dist: BestQueryGroup needs same-length matchers")
+		}
+	}
+	for k, m := range ms {
+		sp := -1
+		if seeds != nil {
+			sp = seeds[k]
+		}
+		out[k] = m.BestQuerySeeded(q, sp)
+	}
+}
+
+// windowDistStats is one window's squared z-normalized distance against
+// zp, early-abandoning above limit, with mean/inv read from st. The
+// arithmetic matches bestMatchZ's inner loop exactly. It is the seed
+// evaluator of bestMatchZStats (limit +Inf ⇒ always the full distance).
+func windowDistStats(zp, series []float64, st *WindowStats, i int, limit float64) float64 {
+	var d float64
+	if inv := st.inv[i]; inv == 0 {
+		// constant window: z-norm is the zero vector
+		for _, x := range zp {
+			d += x * x
+			if d > limit {
+				return math.Inf(1)
+			}
+		}
+	} else {
+		mean := st.mean[i]
+		w := series[i : i+len(zp)]
+		zpw := zp[:len(w)]
+		for j, x := range w {
+			diff := (x-mean)*inv - zpw[j]
+			d += diff * diff
+			if d > limit {
+				return math.Inf(1)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,388 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBestQueryBitIdentical pins the tentpole contract: for random
+// series and patterns, Matcher.BestQuery through shared WindowStats is
+// bit-identical (Dist AND Pos) to the per-matcher Best sweep, seeded or
+// not, for every seed position including invalid ones.
+func TestBestQueryBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := makeSeries(rng, 24+rng.Intn(120))
+		q := NewQuery(series)
+		for trial := 0; trial < 4; trial++ {
+			pat := makeSeries(rng, 2+rng.Intn(len(series)-2))
+			m := NewMatcher(pat)
+			want := m.Best(series)
+			if got := m.BestQuery(q); got != want {
+				t.Logf("seed %d: unseeded BestQuery %+v != Best %+v", seed, got, want)
+				return false
+			}
+			// Every seed, valid or not, must leave the result untouched.
+			for _, sp := range []int{-1, 0, 1, len(series) / 2, len(series) - len(pat), len(series) + 3, want.Pos} {
+				if got := m.BestQuerySeeded(q, sp); got != want {
+					t.Logf("seed %d pos %d: seeded %+v != Best %+v", seed, sp, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestQueryAffineInvariance: closest-match distance is invariant to
+// affine transforms of the query series (per-window z-normalization), so
+// BestQuery over a*x+b must agree with BestQuery over x up to fp noise.
+func TestBestQueryAffineInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := makeSeries(rng, 32+rng.Intn(96))
+		a := 0.5 + rng.Float64()*4
+		b := rng.NormFloat64() * 10
+		shifted := make([]float64, len(series))
+		for i, x := range series {
+			shifted[i] = a*x + b
+		}
+		pat := makeSeries(rng, 4+rng.Intn(24))
+		m := NewMatcher(pat)
+		d1 := m.BestQuery(NewQuery(series))
+		d2 := m.BestQuery(NewQuery(shifted))
+		if math.Abs(d1.Dist-d2.Dist) > 1e-8 {
+			t.Logf("seed %d: affine shift moved distance %v -> %v", seed, d1.Dist, d2.Dist)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestQueryAgreesWithClosestMatch: the Query path must agree with
+// the package-level ClosestMatch entry point to the bit (same kernel
+// arithmetic, shared stats notwithstanding).
+func TestBestQueryAgreesWithClosestMatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := makeSeries(rng, 16+rng.Intn(100))
+		pat := makeSeries(rng, 1+rng.Intn(len(series)))
+		m := NewMatcher(pat)
+		got := m.BestQuery(NewQuery(series))
+		want := m.Best(series)
+		if got != want {
+			t.Logf("seed %d: BestQuery %+v != Best %+v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestQueryConstantWindows: series with constant stretches exercise
+// the inv==0 sentinel path; the result must still match the inline
+// kernel bit-for-bit and stay finite.
+func TestBestQueryConstantWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, 80)
+	for i := range series {
+		switch {
+		case i < 20, i >= 60:
+			series[i] = 3 // constant head and tail
+		default:
+			series[i] = rng.NormFloat64()
+		}
+	}
+	q := NewQuery(series)
+	for _, n := range []int{4, 10, 19, 40} {
+		m := NewMatcher(makeSeries(rng, n))
+		want := m.Best(series)
+		for _, sp := range []int{-1, 0, 5, 70} {
+			if got := m.BestQuerySeeded(q, sp); got != want {
+				t.Fatalf("n=%d seed %d: %+v != %+v", n, sp, got, want)
+			}
+		}
+		if math.IsInf(m.BestQuery(q).Dist, 1) {
+			t.Fatalf("n=%d: infinite distance on finite input", n)
+		}
+	}
+	// Fully constant series: every window is constant.
+	flat := NewQuery(make([]float64, 30))
+	m := NewMatcher(makeSeries(rng, 8))
+	if got, want := m.BestQuery(flat), m.Best(flat.Series()); got != want {
+		t.Fatalf("constant series: %+v != %+v", got, want)
+	}
+}
+
+// TestBestQueryShortQuery: a series shorter than the pattern routes
+// through the swapped Best path and must agree with it exactly; Stats
+// must not be consulted (it would panic on n > len(series)).
+func TestBestQueryShortQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pat := makeSeries(rng, 50)
+	m := NewMatcher(pat)
+	short := makeSeries(rng, 12)
+	q := NewQuery(short)
+	if got, want := m.BestQuery(q), m.Best(short); got != want {
+		t.Fatalf("short query: BestQuery %+v != Best %+v", got, want)
+	}
+	if got, want := m.BestQuerySeeded(q, 3), m.Best(short); got != want {
+		t.Fatalf("short query seeded: %+v != %+v", got, want)
+	}
+	// Empty series and empty pattern degenerate cases.
+	if got := m.BestQuery(NewQuery(nil)); !math.IsInf(got.Dist, 1) || got.Pos != -1 {
+		t.Fatalf("empty series: %+v", got)
+	}
+	if got := NewMatcher(nil).BestQuery(q); !math.IsInf(got.Dist, 1) || got.Pos != -1 {
+		t.Fatalf("empty pattern: %+v", got)
+	}
+}
+
+// TestBestQuerySeededTieHeavy is the fixed-seed fuzz-style comparison of
+// the seeded-abandon scan against the naive scan order on tie-heavy
+// inputs. Two regimes: a periodic series, where many positions attain
+// near-identical minima (exact ties up to rolling-sum rounding drift),
+// and a series with separated constant stretches, where every constant
+// window yields the bit-identical distance (the inv==0 path computes d
+// from the pattern alone) so the lowest-position tie-break is genuinely
+// load-bearing. Every seed — especially one pointing at a LATER copy of
+// the best window — must resolve exactly as the naive scan does.
+func TestBestQuerySeededTieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	block := makeSeries(rng, 16)
+	periodic := make([]float64, 0, len(block)*6)
+	for r := 0; r < 6; r++ {
+		periodic = append(periodic, block...)
+	}
+	// Constant stretches at [10,30) and [50,70): all windows inside one
+	// stretch (and across both) tie exactly for any pattern.
+	flatty := makeSeries(rng, 80)
+	for i := 10; i < 30; i++ {
+		flatty[i] = 2.5
+	}
+	for i := 50; i < 70; i++ {
+		flatty[i] = -1.25
+	}
+	for _, series := range [][]float64{periodic, flatty} {
+		q := NewQuery(series)
+		for trial := 0; trial < 50; trial++ {
+			n := 2 + rng.Intn(len(block))
+			start := rng.Intn(len(series) - n)
+			pat := series[start : start+n]
+			m := NewMatcher(pat)
+			want := m.Best(series)
+			for sp := -1; sp <= len(series)-n; sp += 1 + rng.Intn(7) {
+				if got := m.BestQuerySeeded(q, sp); got != want {
+					t.Fatalf("trial %d seed %d: %+v != %+v", trial, sp, got, want)
+				}
+			}
+		}
+	}
+	// Pin the tie-break itself: a pattern whose best match is a constant
+	// window must report the FIRST constant window even when seeded with
+	// a later tying position.
+	m := NewMatcher(make([]float64, 8)) // constant pattern: zp is the zero vector, d=0 on constant windows
+	q := NewQuery(flatty)
+	want := m.Best(flatty)
+	if want.Pos != 10 {
+		t.Fatalf("constant pattern should match the first constant window, got %+v", want)
+	}
+	for _, sp := range []int{-1, 10, 15, 22, 50, 55, 62} {
+		if got := m.BestQuerySeeded(q, sp); got != want {
+			t.Fatalf("seed %d: %+v != %+v", sp, got, want)
+		}
+	}
+}
+
+// TestBestQueryGroupBitIdentical pins the group entry point: it must
+// equal a hand-rolled loop of per-matcher BestQuerySeeded calls bit for
+// bit (same delegation, shared stats), with nil seeds meaning all
+// unseeded.
+func TestBestQueryGroupBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := makeSeries(rng, 32+rng.Intn(96))
+		n := 2 + rng.Intn(24)
+		k := 1 + rng.Intn(6)
+		ms := make([]*Matcher, k)
+		seeds := make([]int, k)
+		for i := range ms {
+			ms[i] = NewMatcher(makeSeries(rng, n))
+			seeds[i] = -1 + rng.Intn(len(series)+4) // valid, invalid and -1 seeds
+		}
+		q := NewQuery(series)
+		want := make([]Match, k)
+		for i, m := range ms {
+			want[i] = m.BestQuerySeeded(q, seeds[i])
+		}
+		got := make([]Match, k)
+		BestQueryGroup(ms, q, seeds, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d matcher %d: group %+v != seeded %+v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		// nil seeds ⇒ every matcher unseeded.
+		BestQueryGroup(ms, q, nil, got)
+		for i, m := range ms {
+			if w := m.BestQuery(q); got[i] != w {
+				t.Logf("seed %d matcher %d: nil-seed group %+v != BestQuery %+v", seed, i, got[i], w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestQueryGroupPanics pins the group preconditions: out length must
+// equal the matcher count, seeds (when non-nil) likewise, and the group
+// must be single-length.
+func TestBestQueryGroupPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	series := makeSeries(rng, 40)
+	q := NewQuery(series)
+	sameLen := []*Matcher{NewMatcher(makeSeries(rng, 6)), NewMatcher(makeSeries(rng, 6))}
+	mixed := []*Matcher{NewMatcher(makeSeries(rng, 6)), NewMatcher(makeSeries(rng, 7))}
+	cases := []struct {
+		name  string
+		ms    []*Matcher
+		seeds []int
+		out   []Match
+	}{
+		{"short out", sameLen, nil, make([]Match, 1)},
+		{"long out", sameLen, nil, make([]Match, 3)},
+		{"short seeds", sameLen, []int{-1}, make([]Match, 2)},
+		{"mixed lengths", mixed, nil, make([]Match, 2)},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: BestQueryGroup did not panic", tc.name)
+				}
+			}()
+			BestQueryGroup(tc.ms, q, tc.seeds, tc.out)
+		}()
+	}
+}
+
+// TestQueryResetReuse: a Reset query recomputes stats for the new series
+// (no stale cache) while reusing backing arrays; results stay identical
+// to fresh queries.
+func TestQueryResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := NewQuery(makeSeries(rng, 64))
+	m1 := NewMatcher(makeSeries(rng, 8))
+	m2 := NewMatcher(makeSeries(rng, 20))
+	_ = m1.BestQuery(q)
+	_ = m2.BestQuery(q)
+	for i := 0; i < 10; i++ {
+		series := makeSeries(rng, 32+rng.Intn(64))
+		q.Reset(series)
+		if got, want := m1.BestQuery(q), m1.Best(series); got != want {
+			t.Fatalf("iter %d: m1 %+v != %+v", i, got, want)
+		}
+		if got, want := m2.BestQuery(q), m2.Best(series); got != want {
+			t.Fatalf("iter %d: m2 %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// TestQueryStatsPanics pins the Stats precondition.
+func TestQueryStatsPanics(t *testing.T) {
+	q := NewQuery([]float64{1, 2, 3})
+	for _, n := range []int{0, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Stats(%d) did not panic", n)
+				}
+			}()
+			q.Stats(n)
+		}()
+	}
+}
+
+// TestWindowStatsRecurrence: the cached mean/inv must be the exact
+// values the inline rolling recurrence produces (bit equality), window
+// by window.
+func TestWindowStatsRecurrence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	series := makeSeries(rng, 96)
+	for _, n := range []int{1, 2, 7, 33, 96} {
+		st := NewQuery(series).Stats(n)
+		var sum, sumsq float64
+		for _, x := range series[:n] {
+			sum += x
+			sumsq += x * x
+		}
+		fn := float64(n)
+		for i := 0; ; i++ {
+			mean := sum / fn
+			if st.mean[i] != mean {
+				t.Fatalf("n=%d window %d: mean %v != %v", n, i, st.mean[i], mean)
+			}
+			if i+n >= len(series) {
+				break
+			}
+			out := series[i]
+			in := series[i+n]
+			sum += in - out
+			sumsq += in*in - out*out
+		}
+		if st.Len() != n || st.Windows() != len(series)-n+1 {
+			t.Fatalf("n=%d: Len/Windows %d/%d", st.Len(), st.Windows(), n)
+		}
+	}
+}
+
+// BenchmarkBestQuerySeeded measures the shared-stats seeded kernel
+// against the per-matcher Best sweep on the same workload: 8 patterns of
+// one length matched against one series, the shape of one transform row.
+func BenchmarkBestQuerySeeded(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	series := makeSeries(rng, 300)
+	const k = 8
+	ms := make([]*Matcher, k)
+	for i := range ms {
+		ms[i] = NewMatcher(makeSeries(rng, 40))
+	}
+	b.Run("best", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, m := range ms {
+				_ = m.Best(series)
+			}
+		}
+	})
+	b.Run("query-seeded", func(b *testing.B) {
+		q := NewQuery(series)
+		seeds := make([]int, k)
+		for i := range seeds {
+			seeds[i] = -1
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Reset(series)
+			for j, m := range ms {
+				got := m.BestQuerySeeded(q, seeds[j])
+				if got.Pos >= 0 {
+					seeds[j] = got.Pos
+				}
+			}
+		}
+	})
+}

@@ -50,6 +50,13 @@ type batcher struct {
 	depth   *obs.Gauge
 	pool    *obs.Pool
 
+	// scratch pools the per-flush assembly state (the rpm.Dataset rows
+	// handed to PredictBatch) so steady-state flushes reuse one backing
+	// slice instead of allocating a fresh dataset per flush. scratchNew
+	// counts pool misses — flushes minus misses is the achieved reuse.
+	scratch    sync.Pool
+	scratchNew *obs.Counter
+
 	// flushGate, when non-nil, turns every flush into a two-phase
 	// handshake: flush sends one token (announcing it has begun and is
 	// stalled) then receives one token (the release). It exists solely
@@ -59,19 +66,32 @@ type batcher struct {
 	flushGate chan struct{}
 }
 
+// flushScratch is the reusable per-flush assembly state: the dataset
+// passed to PredictBatch grows to the steady-state batch size once and
+// is then recycled flush after flush.
+type flushScratch struct {
+	ds rpm.Dataset
+}
+
 func newBatcher(store *Store, maxBatch, queueSize int, maxDelay time.Duration, reg *obs.Registry) *batcher {
-	return &batcher{
-		store:    store,
-		maxBatch: maxBatch,
-		maxDelay: maxDelay,
-		queue:    make(chan *predRequest, queueSize),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		batches:  reg.Counter(CtrBatches),
-		items:    reg.Counter(CtrBatchItems),
-		depth:    reg.Gauge(GaugeQueueDepth),
-		pool:     reg.Pool(PoolBatch),
+	b := &batcher{
+		store:      store,
+		maxBatch:   maxBatch,
+		maxDelay:   maxDelay,
+		queue:      make(chan *predRequest, queueSize),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		batches:    reg.Counter(CtrBatches),
+		items:      reg.Counter(CtrBatchItems),
+		depth:      reg.Gauge(GaugeQueueDepth),
+		pool:       reg.Pool(PoolBatch),
+		scratchNew: reg.Counter(CtrFlushScratchNew),
 	}
+	b.scratch.New = func() any {
+		b.scratchNew.Inc()
+		return &flushScratch{ds: make(rpm.Dataset, 0, maxBatch)}
+	}
+	return b
 }
 
 // start launches the batch-assembly goroutine.
@@ -164,42 +184,71 @@ func (b *batcher) flush(batch []*predRequest) {
 		<-b.flushGate             // wait for release
 	}
 	start := time.Now()
-	// Group by model, preserving arrival order within groups.
-	groups := map[string][]*predRequest{}
-	var order []string
-	for _, r := range batch {
-		if _, ok := groups[r.model]; !ok {
-			order = append(order, r.model)
-		}
-		groups[r.model] = append(groups[r.model], r)
-	}
-	for _, name := range order {
-		group := groups[name]
-		m, err := b.store.Get(name)
-		if err != nil {
-			for _, r := range group {
-				r.out <- predResponse{err: err}
+	sc := b.scratch.Get().(*flushScratch)
+	if sameModel(batch) {
+		// The typical single-model deployment: no grouping state at all.
+		b.flushGroup(batch[0].model, batch, sc)
+	} else {
+		// Group by model, preserving arrival order within groups. Groups
+		// run sequentially, so they share the one pooled dataset.
+		groups := map[string][]*predRequest{}
+		var order []string
+		for _, r := range batch {
+			if _, ok := groups[r.model]; !ok {
+				order = append(order, r.model)
 			}
-			continue
+			groups[r.model] = append(groups[r.model], r)
 		}
-		ds := make(rpm.Dataset, len(group))
-		for i, r := range group {
-			ds[i] = rpm.Instance{Values: r.values}
-		}
-		labels, err := m.clf.PredictBatchContext(context.Background(), ds)
-		if err != nil {
-			for _, r := range group {
-				r.out <- predResponse{err: err}
-			}
-			continue
-		}
-		for i, r := range group {
-			r.out <- predResponse{label: labels[i], model: m}
+		for _, name := range order {
+			b.flushGroup(name, groups[name], sc)
 		}
 	}
+	// Drop the request value references before pooling so an idle batcher
+	// does not pin the last batch's series.
+	clear(sc.ds[:cap(sc.ds)])
+	sc.ds = sc.ds[:0]
+	b.scratch.Put(sc)
 	dur := time.Since(start)
 	b.batches.Inc()
 	b.items.Add(int64(len(batch)))
 	b.pool.WorkerTask(0, dur)
 	b.pool.RunDone(1, dur)
+}
+
+// sameModel reports whether every request of the batch targets one model.
+func sameModel(batch []*predRequest) bool {
+	for _, r := range batch[1:] {
+		if r.model != batch[0].model {
+			return false
+		}
+	}
+	return true
+}
+
+// flushGroup classifies one same-model group of the batch through the
+// pooled dataset and distributes labels (or the shared error) back to
+// the waiting handlers.
+func (b *batcher) flushGroup(name string, group []*predRequest, sc *flushScratch) {
+	m, err := b.store.Get(name)
+	if err != nil {
+		for _, r := range group {
+			r.out <- predResponse{err: err}
+		}
+		return
+	}
+	ds := sc.ds[:0]
+	for _, r := range group {
+		ds = append(ds, rpm.Instance{Values: r.values})
+	}
+	sc.ds = ds
+	labels, err := m.clf.PredictBatchContext(context.Background(), ds)
+	if err != nil {
+		for _, r := range group {
+			r.out <- predResponse{err: err}
+		}
+		return
+	}
+	for i, r := range group {
+		r.out <- predResponse{label: labels[i], model: m}
+	}
 }

@@ -33,6 +33,9 @@ const (
 	CtrReloads         = "serve.reloads"
 	CtrReloadRejected  = "serve.reloads.rejected"
 	CtrErrPrefix       = "serve.errors."
+	// CtrFlushScratchNew counts flush-scratch pool misses (fresh dataset
+	// allocations); CtrBatches minus this is the achieved buffer reuse.
+	CtrFlushScratchNew = "serve.flush.scratch.new"
 
 	GaugeModels     = "serve.models"
 	GaugeQueueDepth = "serve.queue.depth"

@@ -32,7 +32,7 @@ var (
 	fixProbe rpm.Dataset // queries for byte-identity checks
 )
 
-func fixtures(t *testing.T) {
+func fixtures(t testing.TB) {
 	t.Helper()
 	fixOnce.Do(func() {
 		opts := rpm.DefaultOptions()
@@ -68,7 +68,7 @@ func fixtures(t *testing.T) {
 }
 
 // writeModel writes snapshot bytes as <dir>/<name>.json.
-func writeModel(t *testing.T, dir, name string, data []byte) {
+func writeModel(t testing.TB, dir, name string, data []byte) {
 	t.Helper()
 	if err := os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644); err != nil {
 		t.Fatal(err)
@@ -245,6 +245,59 @@ func TestBatchingAmortizes(t *testing.T) {
 	}
 	if pool := snap.Pools; len(pool) == 0 {
 		t.Fatal("batch pool accounting missing")
+	}
+}
+
+// TestFlushScratchReuse pins the pooled flush buffer: repeated flushes —
+// including mixed-model batches through the grouped path — reuse the
+// pooled dataset (serve.flush.scratch.new grows strictly slower than
+// serve.batches) and still hand every request the label its own model
+// produces.
+func TestFlushScratchReuse(t *testing.T) {
+	s, _, dir := newTestServer(t, nil)
+	writeModel(t, dir, "cbf2", model2)
+	if _, err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	mkBatch := func(mixed bool) []*predRequest {
+		batch := make([]*predRequest, 6)
+		for i := range batch {
+			name := "cbf"
+			if mixed && i%2 == 1 {
+				name = "cbf2"
+			}
+			batch[i] = &predRequest{
+				model:  name,
+				values: fixProbe[i%len(fixProbe)].Values,
+				out:    make(chan predResponse, 1),
+			}
+		}
+		return batch
+	}
+	for round := 0; round < 5; round++ {
+		batch := mkBatch(round%2 == 1)
+		s.batcher.flush(batch)
+		for i, r := range batch {
+			resp := <-r.out
+			if resp.err != nil {
+				t.Fatalf("round %d req %d: %v", round, i, resp.err)
+			}
+			clf := fixClf1
+			if r.model == "cbf2" {
+				clf = fixClf2
+			}
+			if want := clf.Predict(r.values); resp.label != want {
+				t.Fatalf("round %d req %d (%s): label %d != direct %d", round, i, r.model, resp.label, want)
+			}
+		}
+	}
+	snap := s.reg.Snapshot()
+	// A GC can empty the sync.Pool between flushes (more often under
+	// -race), so pin reuse rather than an exact count: strictly fewer
+	// allocations than flushes.
+	got, flushes := snap.Counter(CtrFlushScratchNew), snap.Counter(CtrBatches)
+	if got < 1 || got >= flushes {
+		t.Errorf("flush scratch allocations = %d over %d flushes, want at least one reuse", got, flushes)
 	}
 }
 

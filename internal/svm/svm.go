@@ -221,16 +221,29 @@ func (m *Model) Decision(x []float64) map[int]float64 {
 }
 
 // Predict returns the class with the highest decision value; ties break
-// toward the smaller label for determinism.
+// toward the smaller label for determinism (classes are sorted and the
+// comparison is strict). It allocates nothing: the standardization is
+// fused into the dot product — w·scaleOne(x) with the identical
+// per-term arithmetic ((v-mean)*scale first, then the weight multiply,
+// accumulated in feature order, bias last), so the decision values are
+// bit-identical to Decision's.
 func (m *Model) Predict(x []float64) int {
 	if len(m.classes) == 1 {
 		return m.classes[0]
 	}
-	dec := m.Decision(x)
+	if len(x) != len(m.mean) {
+		panic(fmt.Sprintf("svm: instance has %d features, model expects %d", len(x), len(m.mean)))
+	}
 	best := m.classes[0]
 	bestV := math.Inf(-1)
-	for _, class := range m.classes {
-		if v := dec[class]; v > bestV {
+	for k, class := range m.classes {
+		w := m.weights[k]
+		var v float64
+		for f, xv := range x {
+			v += w[f] * ((xv - m.mean[f]) * m.scale[f])
+		}
+		v += w[len(x)] // bias feature is the constant 1
+		if v > bestV {
 			bestV = v
 			best = class
 		}

@@ -213,6 +213,29 @@ func Rotate(v []float64, cut int) []float64 {
 // series and its half rotation and keeps the smaller distance.
 func RotateHalf(v []float64) []float64 { return Rotate(v, len(v)/2) }
 
+// RotateInto is Rotate writing into dst, which is grown when too small
+// and returned resliced to len(v). It exists so hot predict paths (the
+// rotation-invariant transform evaluates every query twice) can reuse a
+// per-worker scratch buffer instead of allocating per call. dst and v
+// must not overlap.
+func RotateInto(dst, v []float64, cut int) []float64 {
+	n := len(v)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	cut = ((cut % n) + n) % n
+	copy(dst, v[cut:])
+	copy(dst[n-cut:], v[:cut])
+	return dst
+}
+
+// RotateHalfInto is RotateInto at the midpoint cut RotateHalf uses.
+func RotateHalfInto(dst, v []float64) []float64 { return RotateInto(dst, v, len(v)/2) }
+
 // Concatenated is the result of joining several series end to end while
 // remembering where each constituent series starts, so later stages can
 // avoid patterns that span junction points (paper §3.2.2, Fig. 4).
