@@ -35,6 +35,8 @@ COVER_FLOOR = 88.0
 # layer).
 COVER_PKGS = . \
 	./internal/serve \
+	./internal/serve/client \
+	./internal/faults \
 	./internal/core \
 	./internal/ts \
 	./internal/paa \
@@ -49,7 +51,7 @@ COVER_PKGS = . \
 	./internal/obs
 
 .PHONY: all build test race vet lint bench fuzz cover check \
-	bench-json bench-gate bench-baseline load-smoke
+	bench-json bench-gate bench-baseline load-smoke chaos
 
 all: check
 
@@ -81,12 +83,15 @@ lint:
 bench:
 	$(GO) test -run xxx -bench Parallel -cpu 1,4 ./internal/core ./internal/nn
 
-# Boundary fuzzers: arbitrary bytes into the UCR reader and the model
-# loader must yield an error or a working result, never a panic. One
-# target per invocation (a Go fuzzing constraint).
+# Boundary fuzzers: arbitrary bytes into the UCR reader, the model
+# loader, and the serving layer's HTTP decode+validation boundary must
+# yield a typed error or a working result — never a panic, and (for the
+# HTTP surface) never a 500. One target per invocation (a Go fuzzing
+# constraint).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDatasetRead -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run xxx -fuzz FuzzLoadClassifier -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz FuzzPredictRequest -fuzztime $(FUZZTIME) ./internal/serve
 
 # Total test coverage over COVER_PKGS, enforced against COVER_FLOOR.
 # `go tool cover -func` prints a trailing "total:" line; awk compares it
@@ -120,5 +125,16 @@ bench-baseline:
 LOAD_SMOKE_DURATION ?= 2s
 load-smoke:
 	./scripts/load_smoke.sh $(LOAD_SMOKE_DURATION)
+
+# Chaos gate (DESIGN.md §13): the scripted fault-injection scenarios
+# (TestChaos*, each run twice with the same seed — identical injected
+# sequences and outcomes or the test fails) plus the binary-level chaos
+# smoke (rpmserved under a live fault storm + corrupt reloads, driven by
+# the retrying client, then drained mid-chaos). CI runs this as its own
+# fail-fast job.
+CHAOS_SMOKE_DURATION ?= 2s
+chaos:
+	$(GO) test -run 'TestChaos' -count 1 ./internal/serve
+	./scripts/chaos_smoke.sh $(CHAOS_SMOKE_DURATION)
 
 check: build vet lint test race cover fuzz load-smoke

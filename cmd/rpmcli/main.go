@@ -7,14 +7,24 @@
 //	rpmcli -train Coffee_TRAIN -test Coffee_TEST
 //	rpmcli -train X_TRAIN -test X_TEST -mode fixed -window 40 -paa 6 -alpha 4
 //	rpmcli -train X_TRAIN -test X_TEST -rotinv -gamma 0.3 -patterns
+//	rpmcli -remote http://localhost:8080 -test Coffee_TEST
+//
+// With -remote the test set is classified by a running rpmserved
+// instance instead of a local model: series are sent in chunks through
+// the resilient client (retries with backoff, circuit breaker — see
+// DESIGN.md §13), so transient server hiccups do not fail the run.
+// -model selects the served model (empty = server default).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rpm"
+	serveclient "rpm/internal/serve/client"
 )
 
 func main() {
@@ -37,10 +47,31 @@ func main() {
 	loadModel := flag.String("load", "", "load a trained model instead of training")
 	motifsOnly := flag.Bool("motifs", false, "discover class-specific motifs only (no classifier); requires fixed -window/-paa/-alpha")
 	report := flag.String("report", "", "print the training instrumentation report after classification: json or text")
+	remote := flag.String("remote", "", "classify -test against a running rpmserved at this base URL instead of a local model")
+	remoteModel := flag.String("model", "", "served model name for -remote (empty = server default)")
+	chunk := flag.Int("chunk", 256, "series per /v1/predict:batch call with -remote")
 	flag.Parse()
 
 	if *report != "" && *report != "json" && *report != "text" {
 		fatal(fmt.Errorf("unknown -report format %q (want json or text)", *report))
+	}
+
+	if *remote != "" {
+		if *testPath == "" || *chunk < 1 {
+			fmt.Fprintln(os.Stderr, "rpmcli: -remote requires -test and a positive -chunk")
+			os.Exit(2)
+		}
+		test, err := loadFile(*testPath)
+		if err != nil {
+			fatal(err)
+		}
+		if *znorm {
+			rpm.ZNormalize(test)
+		}
+		if err := classifyRemote(*remote, *remoteModel, *chunk, test); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if (*trainPath == "" && *loadModel == "") || *testPath == "" {
@@ -163,6 +194,51 @@ func main() {
 			fmt.Printf("training report:\n%s", tr)
 		}
 	}
+}
+
+// classifyRemote sends the test set to a running rpmserved in -chunk
+// sized /v1/predict:batch calls through the resilient client and prints
+// the same error-rate summary the local path does. Chunking bounds both
+// request payloads and the blast radius of one failed call.
+func classifyRemote(baseURL, model string, chunk int, test rpm.Dataset) error {
+	c, err := serveclient.New(serveclient.Config{BaseURL: baseURL})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
+		return err
+	}
+	preds := make([]int, 0, len(test))
+	version := 0
+	served := model
+	for lo := 0; lo < len(test); lo += chunk {
+		hi := min(lo+chunk, len(test))
+		series := make([][]float64, 0, hi-lo)
+		for _, inst := range test[lo:hi] {
+			series = append(series, inst.Values)
+		}
+		res, err := c.PredictBatch(ctx, model, series)
+		if err != nil {
+			return fmt.Errorf("batch [%d:%d]: %w", lo, hi, err)
+		}
+		if len(res.Labels) != hi-lo {
+			return fmt.Errorf("batch [%d:%d]: server answered %d labels", lo, hi, len(res.Labels))
+		}
+		preds = append(preds, res.Labels...)
+		version = res.Version
+		served = res.Model
+	}
+	wrong := 0
+	for i, p := range preds {
+		if p != test[i].Label {
+			wrong++
+		}
+	}
+	fmt.Printf("remote:    %s model=%q v%d (chunks of %d)\n", baseURL, served, version, chunk)
+	fmt.Printf("instances: test=%d\n", len(test))
+	fmt.Printf("error:     %.4f (%d/%d wrong)\n", float64(wrong)/float64(len(test)), wrong, len(test))
+	return nil
 }
 
 func loadFile(path string) (rpm.Dataset, error) {

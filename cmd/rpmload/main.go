@@ -8,17 +8,28 @@
 // same power-of-two-bucket histogram the server reports, so client- and
 // server-side percentiles are directly comparable.
 //
+// A 429 (load shed) is not a failure: it is the server's backpressure
+// working as designed, so it is counted separately as "shed" and, in
+// the closed loop, the worker honors the response's Retry-After hint
+// before issuing its next request. With -retries N each request goes
+// through the resilient serveclient (capped exponential backoff with
+// full jitter, per-model circuit breaker) instead of raw one-shot HTTP,
+// which is how a well-behaved production caller would drive the server.
+//
 // Exit status: 0 on a clean run; 1 under -strict when nothing completed
-// or any request failed (non-200 envelope or transport error); 2 on
-// usage errors.
+// or any request failed (non-200 envelope or transport error — shed
+// requests do not fail strict); 2 on usage errors.
 //
 //	rpmload -addr http://localhost:8080 -duration 10s -concurrency 8
 //	rpmload -rate 200 -duration 30s -strict
+//	rpmload -duration 10s -retries 3 -strict
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +42,7 @@ import (
 	"time"
 
 	"rpm/internal/obs"
+	serveclient "rpm/internal/serve/client"
 )
 
 // predictRequest / errorEnvelope mirror the serving layer's public JSON
@@ -52,9 +64,16 @@ const (
 	ctrOK        = "load.ok"
 	ctrErrors    = "load.errors"
 	ctrTransport = "load.errors.transport"
-	ctrDropped   = "load.dropped"
-	sumLatency   = "load.latency"
+	// ctrShed counts 429 answers: deliberate backpressure, not failures
+	// (kept out of load.errors so -strict ignores them).
+	ctrShed    = "load.shed"
+	ctrDropped = "load.dropped"
+	sumLatency = "load.latency"
 )
+
+// maxRetryAfter caps how long a closed-loop worker honors a 429's
+// Retry-After hint, so a confused server cannot park the whole run.
+const maxRetryAfter = 2 * time.Second
 
 func main() {
 	var (
@@ -68,8 +87,10 @@ func main() {
 		seed        = flag.Int64("seed", 1, "query-generation seed")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 		wait        = flag.Duration("wait", 0, "poll /readyz this long for the server to come up before loading")
-		strict      = flag.Bool("strict", false, "exit 1 when nothing completed or any request failed")
+		strict      = flag.Bool("strict", false, "exit 1 when nothing completed or any request failed (shed requests do not fail strict)")
 		jsonOut     = flag.Bool("json", false, "emit the summary as JSON instead of text")
+		retries     = flag.Int("retries", 0, "route requests through the resilient client with this many attempts each (0 = raw one-shot HTTP)")
+		retrySeed   = flag.Int64("retry-seed", 1, "backoff-jitter seed for -retries")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *seriesLen < 1 || *queries < 1 || *duration <= 0 || *rate < 0 {
@@ -91,9 +112,10 @@ func main() {
 		}
 	}
 
-	// Pre-marshal the request bodies: the generator must not spend its
-	// loop on JSON encoding.
+	// Pre-generate the queries and pre-marshal the raw-path request
+	// bodies: the generator must not spend its loop on JSON encoding.
 	rng := rand.New(rand.NewSource(*seed))
+	values := make([][]float64, *queries)
 	bodies := make([][]byte, *queries)
 	for i := range bodies {
 		v := make([]float64, *seriesLen)
@@ -102,6 +124,7 @@ func main() {
 			x += rng.NormFloat64()
 			v[j] = x
 		}
+		values[i] = v
 		b, err := json.Marshal(predictRequest{Model: *model, Values: v})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rpmload: marshal: %v\n", err)
@@ -114,13 +137,31 @@ func main() {
 	g := &loadgen{
 		client: client,
 		url:    *addr + "/v1/predict",
+		model:  *model,
 		bodies: bodies,
+		values: values,
 		ok:     reg.Counter(ctrOK),
 		errs:   reg.Counter(ctrErrors),
 		trans:  reg.Counter(ctrTransport),
+		shed:   reg.Counter(ctrShed),
 		drops:  reg.Counter(ctrDropped),
 		lat:    reg.Summary(sumLatency),
 		errsBy: reg,
+	}
+	if *retries > 0 {
+		sc, err := serveclient.New(serveclient.Config{
+			BaseURL:           *addr,
+			HTTPClient:        client,
+			MaxAttempts:       *retries,
+			PerAttemptTimeout: *timeout,
+			OverallTimeout:    time.Duration(*retries+1) * *timeout,
+			Seed:              *retrySeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpmload: %v\n", err)
+			os.Exit(2)
+		}
+		g.sc = sc
 	}
 
 	start := time.Now()
@@ -165,13 +206,17 @@ func waitReady(client *http.Client, addr string, budget time.Duration) error {
 // loadgen issues requests and classifies outcomes into the registry.
 type loadgen struct {
 	client *http.Client
+	sc     *serveclient.Client // non-nil with -retries: the resilient path
 	url    string
+	model  string
 	bodies [][]byte
+	values [][]float64
 	next   atomic.Int64
 
 	ok     *obs.Counter
 	errs   *obs.Counter
 	trans  *obs.Counter
+	shed   *obs.Counter
 	drops  *obs.Counter
 	lat    *obs.Summary
 	errsBy *obs.Registry
@@ -180,11 +225,17 @@ type loadgen struct {
 // one issues a single request and records its outcome. The latency of
 // every completed exchange (success or error envelope) is observed;
 // transport failures have no meaningful service time and are only
-// counted.
+// counted. A 429 counts as shed (not an error) and the worker honors
+// the Retry-After hint, capped, before its next request — backpressure
+// a closed loop must propagate, not ignore.
 func (g *loadgen) one() {
-	body := g.bodies[int(g.next.Add(1)-1)%len(g.bodies)]
+	i := int(g.next.Add(1)-1) % len(g.bodies)
+	if g.sc != nil {
+		g.oneRetrying(i)
+		return
+	}
 	start := time.Now()
-	resp, err := g.client.Post(g.url, "application/json", bytes.NewReader(body))
+	resp, err := g.client.Post(g.url, "application/json", bytes.NewReader(g.bodies[i]))
 	if err != nil {
 		g.trans.Inc()
 		return
@@ -200,6 +251,11 @@ func (g *loadgen) one() {
 		g.ok.Inc()
 		return
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		g.shed.Inc()
+		time.Sleep(retryAfterDelay(resp.Header.Get("Retry-After")))
+		return
+	}
 	g.errs.Inc()
 	var env errorEnvelope
 	code := "http_" + strconv.Itoa(resp.StatusCode)
@@ -207,6 +263,49 @@ func (g *loadgen) one() {
 		code = env.Error.Code
 	}
 	g.errsBy.Counter("load.errors." + code).Inc()
+}
+
+// oneRetrying issues one request through the resilient client; its
+// latency spans all attempts (what the caller actually waited).
+func (g *loadgen) oneRetrying(i int) {
+	start := time.Now()
+	_, err := g.sc.Predict(context.Background(), g.model, g.values[i])
+	g.lat.Observe(time.Since(start))
+	if err == nil {
+		g.ok.Inc()
+		return
+	}
+	var apiErr *serveclient.APIError
+	switch {
+	case errors.As(err, &apiErr):
+		// The client already retried per policy; what is left is the
+		// terminal answer. A final 429 is still a shed, not a failure.
+		if apiErr.Status == http.StatusTooManyRequests {
+			g.shed.Inc()
+			return
+		}
+		g.errs.Inc()
+		g.errsBy.Counter("load.errors." + apiErr.Code).Inc()
+	case errors.Is(err, serveclient.ErrBreakerOpen):
+		g.errs.Inc()
+		g.errsBy.Counter("load.errors.breaker_open").Inc()
+	default:
+		g.trans.Inc()
+	}
+}
+
+// retryAfterDelay parses a 429's Retry-After (delay-seconds form) and
+// caps it at maxRetryAfter; absent or unparsable hints back off 50ms so
+// a shedding server is never hammered in a zero-delay spin.
+func retryAfterDelay(h string) time.Duration {
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > maxRetryAfter {
+			return maxRetryAfter
+		}
+		return d
+	}
+	return 50 * time.Millisecond
 }
 
 // closedLoop runs workers goroutines, each issuing back-to-back requests
@@ -267,6 +366,7 @@ func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed t
 	ok := snap.Counter(ctrOK)
 	errs := snap.Counter(ctrErrors)
 	trans := snap.Counter(ctrTransport)
+	shed := snap.Counter(ctrShed)
 	drops := snap.Counter(ctrDropped)
 	mode := fmt.Sprintf("closed-loop, %d workers", workers)
 	if rate > 0 {
@@ -281,6 +381,7 @@ func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed t
 			"completed":  ok,
 			"errors":     errs,
 			"transport":  trans,
+			"shed":       shed,
 			"dropped":    drops,
 			"throughput": throughput,
 		}
@@ -291,8 +392,8 @@ func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed t
 		return
 	}
 	fmt.Fprintf(w, "rpmload: %s, %v elapsed\n", mode, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "completed %d (%.1f req/s)  errors %d  transport-errors %d  dropped %d\n",
-		ok, throughput, errs, trans, drops)
+	fmt.Fprintf(w, "completed %d (%.1f req/s)  errors %d  transport-errors %d  shed %d  dropped %d\n",
+		ok, throughput, errs, trans, shed, drops)
 	if lat != nil && lat.Count > 0 {
 		fmt.Fprintf(w, "latency  mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
 			time.Duration(lat.MeanNS).Round(10*time.Microsecond),

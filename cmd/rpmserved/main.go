@@ -16,17 +16,26 @@
 //	POST /admin/reload      re-scan the model directory (also SIGHUP)
 //	GET  /healthz, /readyz  liveness / readiness
 //	GET  /debug/obs         live serve.* counters, latency summaries, pools
+//	GET  /debug/faults      armed chaos sites and the injected-fault log
 //	     /debug/vars        expvar (includes rpm_obs), /debug/pprof/*
 //
 // The "model" field may be omitted when exactly one model is loaded.
 // Hot reload (SIGHUP or POST /admin/reload) atomically swaps in changed
 // snapshots; corrupt files are rejected and the previous version keeps
-// serving. SIGTERM/SIGINT drains gracefully: in-flight and queued
-// requests finish, new ones get 503.
+// serving. SIGTERM/SIGINT drains gracefully: /readyz flips to 503 the
+// moment the drain begins (while /healthz stays 200), in-flight and
+// queued requests finish, new ones get 503.
+//
+// Chaos mode (-faults "site:p=0.5;...", -faults-seed N) arms the
+// deterministic fault injector of DESIGN.md §13 inside the serving
+// layer — model-load I/O errors, flush stalls, queue saturation,
+// deadline exhaustion, response-write aborts. Same seed + spec
+// reproduces the exact injected sequence. Never use in production.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -36,9 +45,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rpm/internal/faults"
 	"rpm/internal/obs"
 	"rpm/internal/serve"
 )
@@ -54,6 +65,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (queueing + prediction)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
 		noDebug      = flag.Bool("no-debug", false, "disable /debug/obs, /debug/vars and /debug/pprof")
+		faultSpec    = flag.String("faults", "", "chaos fault-injection spec, e.g. \"store.load:p=0.5;batcher.flush:d=50ms:n=3\" (sites: "+strings.Join(faults.KnownSites(), ", ")+"); empty = off")
+		faultSeed    = flag.Int64("faults-seed", 1, "fault-injection seed; same seed + spec reproduces the exact injected sequence")
 	)
 	flag.Parse()
 	if *models == "" {
@@ -61,12 +74,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *models, *maxBatch, *queueSize, *workers, *maxDelay, *timeout, *drainTimeout, !*noDebug); err != nil {
+	inj, err := faults.New(*faultSeed, *faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpmserved: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *models, *maxBatch, *queueSize, *workers, *maxDelay, *timeout, *drainTimeout, !*noDebug, inj); err != nil {
 		log.Fatalf("rpmserved: %v", err)
 	}
 }
 
-func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeout, drainTimeout time.Duration, debug bool) error {
+func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeout, drainTimeout time.Duration, debug bool, inj *faults.Injector) error {
 	reg := obs.NewRegistry()
 	srv, err := serve.New(serve.Config{
 		ModelDir:       models,
@@ -76,9 +94,13 @@ func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeou
 		Workers:        workers,
 		RequestTimeout: timeout,
 		Registry:       reg,
+		Faults:         inj,
 	})
 	if err != nil {
 		return err
+	}
+	if inj != nil {
+		log.Printf("CHAOS MODE: %s — not for production", inj)
 	}
 	for _, m := range srv.Store().Models() {
 		log.Printf("loaded model %q v%d (%d patterns, classes %v) from %s",
@@ -93,6 +115,15 @@ func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeou
 	if debug {
 		// The PR-3 debug surface: live instrumentation, expvar, pprof.
 		mux.Handle("GET /debug/obs", obs.Handler(reg))
+		// Chaos surface: armed sites and the injected-fault log (empty
+		// arming and log when running without -faults).
+		mux.HandleFunc("GET /debug/faults", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"armed":  inj.Armed(),
+				"events": inj.Events(),
+			})
+		})
 		expvar.Publish("rpm_obs", expvar.Func(func() any { return reg.Snapshot() }))
 		mux.Handle("GET /debug/vars", expvar.Handler())
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -137,8 +168,11 @@ func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeou
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	// Order matters: stop accepting and finish in-flight handlers first
-	// (http.Server.Shutdown), then drain the batch queue (serve.Close).
+	// Order matters: flip /readyz to 503 immediately (load balancers stop
+	// routing here while /healthz stays 200), then stop accepting and
+	// finish in-flight handlers (http.Server.Shutdown), then drain the
+	// batch queue (serve.Close).
+	srv.BeginDrain()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}

@@ -82,7 +82,8 @@ func Defaults() Config {
 		RootPkg: "rpm",
 		GoroutineExemptPkgs: []string{
 			"rpm/internal/parallel",
-			"rpm/internal/serve",
+			"rpm/internal/serve", // prefix: also covers serve/client
+			"rpm/internal/faults",
 			"rpm/internal/obs",
 			"rpm/cmd/",
 		},

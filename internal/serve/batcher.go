@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rpm"
+	"rpm/internal/faults"
 	"rpm/internal/obs"
 )
 
@@ -13,6 +14,11 @@ import (
 type predRequest struct {
 	model  string
 	values []float64
+	// ctx is the request's deadline-bearing context. The flush consults
+	// it at admission time: a request whose context already expired is
+	// shed with its context error (→ 504) instead of being computed for
+	// a caller that stopped listening (the queue-age admission check).
+	ctx context.Context
 	// out is buffered (capacity 1) so a flush never blocks on a caller
 	// that gave up waiting (deadline, disconnect).
 	out chan predResponse
@@ -39,16 +45,19 @@ type batcher struct {
 	store    *Store
 	maxBatch int
 	maxDelay time.Duration
+	faults   *faults.Injector
 
 	queue    chan *predRequest
 	quit     chan struct{}
 	quitOnce sync.Once
 	done     chan struct{}
 
-	batches *obs.Counter
-	items   *obs.Counter
-	depth   *obs.Gauge
-	pool    *obs.Pool
+	batches  *obs.Counter
+	items    *obs.Counter
+	expired  *obs.Counter
+	injected *obs.Counter
+	depth    *obs.Gauge
+	pool     *obs.Pool
 
 	// scratch pools the per-flush assembly state (the rpm.Dataset rows
 	// handed to PredictBatch) so steady-state flushes reuse one backing
@@ -67,22 +76,27 @@ type batcher struct {
 }
 
 // flushScratch is the reusable per-flush assembly state: the dataset
-// passed to PredictBatch grows to the steady-state batch size once and
+// passed to PredictBatch (and the filtered request list of the rare
+// expired-shedding path) grows to the steady-state batch size once and
 // is then recycled flush after flush.
 type flushScratch struct {
-	ds rpm.Dataset
+	ds   rpm.Dataset
+	reqs []*predRequest
 }
 
-func newBatcher(store *Store, maxBatch, queueSize int, maxDelay time.Duration, reg *obs.Registry) *batcher {
+func newBatcher(store *Store, maxBatch, queueSize int, maxDelay time.Duration, reg *obs.Registry, inj *faults.Injector) *batcher {
 	b := &batcher{
 		store:      store,
 		maxBatch:   maxBatch,
 		maxDelay:   maxDelay,
+		faults:     inj,
 		queue:      make(chan *predRequest, queueSize),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 		batches:    reg.Counter(CtrBatches),
 		items:      reg.Counter(CtrBatchItems),
+		expired:    reg.Counter(CtrExpired),
+		injected:   reg.Counter(CtrFaultsInjected),
 		depth:      reg.Gauge(GaugeQueueDepth),
 		pool:       reg.Pool(PoolBatch),
 		scratchNew: reg.Counter(CtrFlushScratchNew),
@@ -99,7 +113,12 @@ func (b *batcher) start() { go b.loop() }
 
 // enqueue offers a request to the queue without blocking. A false return
 // means the queue is full — the caller sheds the request with 429.
+// faults.SiteEnqueueFull simulates a saturated queue.
 func (b *batcher) enqueue(r *predRequest) bool {
+	if b.faults.Fire(faults.SiteEnqueueFull) {
+		b.injected.Inc()
+		return false
+	}
 	select {
 	case b.queue <- r:
 		b.depth.Set(int64(len(b.queue)))
@@ -183,6 +202,12 @@ func (b *batcher) flush(batch []*predRequest) {
 		b.flushGate <- struct{}{} // announce: stalled at the gate
 		<-b.flushGate             // wait for release
 	}
+	// Injected flush stall / latency spike (faults.SiteFlushDelay):
+	// sleeps before any model work, so queued requests age exactly as
+	// they would behind a genuinely slow flush.
+	if d := b.faults.Sleep(faults.SiteFlushDelay); d > 0 {
+		b.injected.Inc()
+	}
 	start := time.Now()
 	sc := b.scratch.Get().(*flushScratch)
 	if sameModel(batch) {
@@ -207,6 +232,8 @@ func (b *batcher) flush(batch []*predRequest) {
 	// does not pin the last batch's series.
 	clear(sc.ds[:cap(sc.ds)])
 	sc.ds = sc.ds[:0]
+	clear(sc.reqs[:cap(sc.reqs)])
+	sc.reqs = sc.reqs[:0]
 	b.scratch.Put(sc)
 	dur := time.Since(start)
 	b.batches.Inc()
@@ -228,27 +255,63 @@ func sameModel(batch []*predRequest) bool {
 // flushGroup classifies one same-model group of the batch through the
 // pooled dataset and distributes labels (or the shared error) back to
 // the waiting handlers.
+//
+// Queue-age admission check: a request whose context expired while it
+// sat in the queue is answered with its context error (the handler maps
+// it to 504) and excluded from the PredictBatchContext call — it is
+// shed before the store lookup, never computed and discarded. A group
+// left with no live requests skips the model entirely.
 func (b *batcher) flushGroup(name string, group []*predRequest, sc *flushScratch) {
+	// Fast path: no expired request means no filtering and no copy.
+	live := group
+	for i, r := range group {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			live = b.shedExpired(group, i, sc)
+			break
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
 	m, err := b.store.Get(name)
 	if err != nil {
-		for _, r := range group {
+		for _, r := range live {
 			r.out <- predResponse{err: err}
 		}
 		return
 	}
 	ds := sc.ds[:0]
-	for _, r := range group {
+	for _, r := range live {
 		ds = append(ds, rpm.Instance{Values: r.values})
 	}
 	sc.ds = ds
 	labels, err := m.clf.PredictBatchContext(context.Background(), ds)
 	if err != nil {
-		for _, r := range group {
+		for _, r := range live {
 			r.out <- predResponse{err: err}
 		}
 		return
 	}
-	for i, r := range group {
+	for i, r := range live {
 		r.out <- predResponse{label: labels[i], model: m}
 	}
+}
+
+// shedExpired answers every expired request of group from firstExpired
+// onward with its context error and returns the surviving requests,
+// assembled in sc.reqs (valid until the next group of the same flush
+// reuses it — groups run sequentially, and live is consumed before
+// flushGroup returns the next time around).
+func (b *batcher) shedExpired(group []*predRequest, firstExpired int, sc *flushScratch) []*predRequest {
+	live := append(sc.reqs[:0], group[:firstExpired]...)
+	for _, r := range group[firstExpired:] {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			b.expired.Inc()
+			r.out <- predResponse{err: r.ctx.Err()}
+			continue
+		}
+		live = append(live, r)
+	}
+	sc.reqs = live
+	return live
 }

@@ -1,0 +1,126 @@
+package serveclient
+
+import (
+	"sync"
+	"time"
+
+	"rpm/internal/obs"
+)
+
+// Breaker states as recorded in the per-model state gauge.
+const (
+	stateClosed   = 0
+	stateOpen     = 1
+	stateHalfOpen = 2
+)
+
+// breaker is one model's circuit breaker: closed (normal service,
+// counting consecutive failures), open (rejecting instantly until the
+// cool-off elapses), half-open (admitting one probe at a time; probe
+// successes close it, one probe failure re-opens it).
+//
+// The state machine advances only on allow/record calls — no background
+// goroutine, no timers; "open long enough" is evaluated lazily against
+// the clock the caller passes in (which is how tests drive it without
+// sleeping).
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     int
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	until     time.Time // while open: when a probe may be admitted
+	probing   bool      // while half-open: a probe is in flight
+
+	opened *obs.Counter
+	closed *obs.Counter
+	gauge  *obs.Gauge
+}
+
+func newBreaker(cfg BreakerConfig, opened, closed *obs.Counter, gauge *obs.Gauge) *breaker {
+	return &breaker{cfg: cfg, opened: opened, closed: closed, gauge: gauge}
+}
+
+// allow reports whether a call may proceed now. An open breaker whose
+// cool-off elapsed transitions to half-open and admits exactly one
+// probe; further calls are rejected until that probe is recorded.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.successes = 0
+		b.probing = true
+		b.gauge.Set(stateHalfOpen)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record reports the outcome of an admitted call.
+func (b *breaker) record(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip(now)
+		}
+	case stateHalfOpen:
+		b.probing = false
+		if !ok {
+			b.trip(now)
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.state = stateClosed
+			b.failures = 0
+			b.closed.Inc()
+			b.gauge.Set(stateClosed)
+		}
+	case stateOpen:
+		// A call admitted before the trip finishing after it: its outcome
+		// carries no information about the post-trip server, ignore it.
+	}
+}
+
+// trip opens the breaker until now+OpenFor. Caller holds b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.state = stateOpen
+	b.until = now.Add(b.cfg.OpenFor)
+	b.failures = 0
+	b.probing = false
+	b.opened.Inc()
+	b.gauge.Set(stateOpen)
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

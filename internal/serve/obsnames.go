@@ -36,6 +36,13 @@ const (
 	// CtrFlushScratchNew counts flush-scratch pool misses (fresh dataset
 	// allocations); CtrBatches minus this is the achieved buffer reuse.
 	CtrFlushScratchNew = "serve.flush.scratch.new"
+	// CtrExpired counts requests shed by the flush's queue-age admission
+	// check: their context expired while queued, so they were answered
+	// 504 and excluded from the PredictBatch call (never computed).
+	CtrExpired = "serve.flush.expired"
+	// CtrFaultsInjected counts faults the chaos injector actually fired
+	// across every site (0 in production, where the injector is nil).
+	CtrFaultsInjected = "serve.faults.injected"
 
 	GaugeModels     = "serve.models"
 	GaugeQueueDepth = "serve.queue.depth"

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rpm"
+	"rpm/internal/faults"
 	"rpm/internal/obs"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	// counters, latency summaries, the batch pool, the uptime span). A
 	// fresh registry is created when nil, retrievable via Server.Obs.
 	Registry *obs.Registry
+	// Faults, usually nil (chaos off), injects deterministic failures at
+	// the named sites threaded through the stack: model-load errors,
+	// flush stalls, queue saturation, deadline exhaustion and response-
+	// write aborts (see internal/faults and DESIGN.md §13). The nil path
+	// costs one nil check per site, mirroring the obs convention.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +91,7 @@ type Server struct {
 	reg     *obs.Registry
 	store   *Store
 	batcher *batcher
+	faults  *faults.Injector
 	mux     *http.ServeMux
 
 	draining atomic.Bool
@@ -93,6 +101,7 @@ type Server struct {
 	reqPredict *obs.Counter
 	reqBatch   *obs.Counter
 	shed       *obs.Counter
+	injected   *obs.Counter
 
 	latPredict *obs.Summary
 	latBatch   *obs.Summary
@@ -115,11 +124,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
-		store:      NewStore(cfg.ModelDir, cfg.Workers, reg),
+		store:      NewStore(cfg.ModelDir, cfg.Workers, reg, cfg.Faults),
+		faults:     cfg.Faults,
 		requests:   reg.Counter(CtrRequests),
 		reqPredict: reg.Counter(CtrRequestsPredict),
 		reqBatch:   reg.Counter(CtrRequestsBatch),
 		shed:       reg.Counter(CtrShed),
+		injected:   reg.Counter(CtrFaultsInjected),
 		latPredict: reg.Summary(SumLatencyPredict),
 		latBatch:   reg.Summary(SumLatencyBatch),
 	}
@@ -130,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 	if _, err := s.store.Reload(); err != nil {
 		return nil, err
 	}
-	s.batcher = newBatcher(s.store, cfg.MaxBatch, cfg.QueueSize, cfg.MaxDelay, reg)
+	s.batcher = newBatcher(s.store, cfg.MaxBatch, cfg.QueueSize, cfg.MaxDelay, reg, cfg.Faults)
 	s.batcher.start()
 
 	s.mux = http.NewServeMux()
@@ -163,6 +174,18 @@ func (s *Server) Reload() (ReloadReport, error) {
 	return rep, err
 }
 
+// BeginDrain flips the server into draining mode without stopping
+// anything: new requests are rejected with 503 "draining", /readyz
+// answers 503 so load balancers take the instance out of rotation, and
+// /healthz stays 200 — the process is alive and still answering its
+// queued work. Call it the moment shutdown is decided (cmd/rpmserved
+// does, on SIGTERM, before http.Server.Shutdown); Close implies it.
+// Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains the server: new requests are rejected with 503, the
 // batcher flushes everything still queued and stops, then in-flight
 // handlers finish. The batcher stops *first* because queued predict
@@ -170,7 +193,7 @@ func (s *Server) Reload() (ReloadReport, error) {
 // its final drain, which is exactly what unblocks them. Call after (or
 // instead of) http.Server.Shutdown; ctx bounds the wait.
 func (s *Server) Close(ctx context.Context) error {
-	s.draining.Store(true)
+	s.BeginDrain()
 	if err := s.batcher.stop(ctx); err != nil {
 		return err
 	}
@@ -287,13 +310,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeResult writes a successful prediction response. It is the one
+// write path with a fault site: faults.SiteWriteFail aborts the
+// connection via http.ErrAbortHandler — the client sees a transport
+// error, never a truncated or wrong 200 body — which is how a client
+// hanging up at write time looks from inside the handler.
+func (s *Server) writeResult(w http.ResponseWriter, v any) {
+	if s.faults.Fire(faults.SiteWriteFail) {
+		s.injected.Inc()
+		panic(http.ErrAbortHandler)
+	}
+	writeJSON(w, v)
+}
+
 // ---------------------------------------------------------------------------
 // Handlers
 
 // guarded wraps a handler with the shared request plumbing: in-flight
 // accounting (so Close can drain), the draining gate, the request
 // counter, and panic containment — a handler bug answers 500 instead of
-// killing the process, mirroring rpm's guard shim.
+// killing the process, mirroring rpm's guard shim. http.ErrAbortHandler
+// is re-panicked: it is net/http's sanctioned "drop this connection"
+// signal (the injected response-write failure uses it), and swallowing
+// it would turn an aborted write into a trailing 500 on a dead wire.
 func (s *Server) guarded(fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
@@ -305,6 +344,9 @@ func (s *Server) guarded(fn http.HandlerFunc) http.HandlerFunc {
 		s.requests.Inc()
 		defer func() {
 			if rec := recover(); rec != nil {
+				if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(rec)
+				}
 				s.writeError(w, http.StatusInternalServerError, "internal", fmt.Sprintf("recovered panic: %v", rec))
 			}
 		}()
@@ -355,7 +397,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	pr := &predRequest{model: req.Model, values: req.Values, out: make(chan predResponse, 1)}
+	// Injected deadline exhaustion (faults.SiteDeadline): the request's
+	// context expires before it is enqueued, so it rides the queue
+	// already dead and the flush's queue-age check must shed it with 504
+	// instead of computing a prediction nobody is waiting for.
+	if s.faults.Fire(faults.SiteDeadline) {
+		s.injected.Inc()
+		cancel()
+	}
+	pr := &predRequest{model: req.Model, values: req.Values, ctx: ctx, out: make(chan predResponse, 1)}
 	if !s.batcher.enqueue(pr) {
 		s.shed.Inc()
 		s.writeError(w, http.StatusTooManyRequests, "overloaded",
@@ -368,7 +418,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			s.writeErrorFor(w, res.err)
 			return
 		}
-		writeJSON(w, predictResponse{Model: res.model.Name, Version: res.model.Version, Label: res.label})
+		s.writeResult(w, predictResponse{Model: res.model.Name, Version: res.model.Version, Label: res.label})
 	case <-ctx.Done():
 		s.writeErrorFor(w, ctx.Err())
 	}
@@ -417,7 +467,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeErrorFor(w, err)
 		return
 	}
-	writeJSON(w, predictBatchResponse{Model: m.Name, Version: m.Version, Labels: labels})
+	s.writeResult(w, predictBatchResponse{Model: m.Name, Version: m.Version, Labels: labels})
 }
 
 // handleModels serves GET /v1/models.

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rpm"
+	"rpm/internal/faults"
 	"rpm/internal/obs"
 )
 
@@ -99,9 +100,11 @@ type ReloadReport struct {
 type Store struct {
 	dir     string
 	workers int
+	faults  *faults.Injector
 
 	reloads     *obs.Counter
 	rejected    *obs.Counter
+	injected    *obs.Counter
 	gaugeModels *obs.Gauge
 
 	mu  sync.Mutex // serializes Reload
@@ -111,13 +114,17 @@ type Store struct {
 // NewStore creates a store over a directory of *.json snapshots written
 // by rpm's Classifier.Save (e.g. rpmcli -save). workers is the predict
 // fan-out bound applied to every loaded classifier (rpm.SetWorkers).
-// The store starts empty; call Reload to populate it.
-func NewStore(dir string, workers int, reg *obs.Registry) *Store {
+// inj, usually nil, injects deterministic model-load failures during
+// Reload (DESIGN.md §13). The store starts empty; call Reload to
+// populate it.
+func NewStore(dir string, workers int, reg *obs.Registry, inj *faults.Injector) *Store {
 	s := &Store{
 		dir:         dir,
 		workers:     workers,
+		faults:      inj,
 		reloads:     reg.Counter(CtrReloads),
 		rejected:    reg.Counter(CtrReloadRejected),
+		injected:    reg.Counter(CtrFaultsInjected),
 		gaugeModels: reg.Gauge(GaugeModels),
 	}
 	s.cur.Store(&catalog{models: map[string]*Model{}})
@@ -186,6 +193,15 @@ func (s *Store) Reload() (ReloadReport, error) {
 		seen[name] = true
 		out := ReloadOutcome{Name: name, File: e.Name()}
 		data, err := os.ReadFile(path)
+		if err == nil {
+			// Injected model-load I/O failure (faults.SiteStoreLoad):
+			// indistinguishable from a real read error, so the KeptOld /
+			// Rejected fallback below is exactly what a chaos run proves.
+			if ferr := s.faults.Err(faults.SiteStoreLoad); ferr != nil {
+				s.injected.Inc()
+				err = ferr
+			}
+		}
 		if err != nil {
 			out.Err = err.Error()
 			if prev, ok := old.models[name]; ok {
