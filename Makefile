@@ -10,17 +10,17 @@ FUZZTIME ?= 10s
 # The gated benchmarks cover the pipeline's hot paths: end-to-end fixed-
 # parameter training, single prediction, the transform and predict-batch
 # parallel kernels, the single-query transform kernel, the serving-layer
-# predict and flush paths, the 1NN baselines, and the Matcher
-# short-query path. `make bench-baseline` refreshes the committed
+# predict and flush paths, the 1NN baselines, the Matcher short-query
+# path, and the streaming append path. `make bench-baseline` refreshes the committed
 # baseline; `make bench-gate` re-runs the benches and fails on a
 # >$(MAX_REGRESS)% ns/op regression against it (benchjson aggregates
 # -count samples by min). Both the selection regex and the package list
 # are overridable (`make bench-json BENCH_GATE_RE=...`) so one-off runs
 # can benchmark a subset without editing this file.
-BENCH_GATE_RE ?= ^Benchmark(RPMTrainFixed|RPMPredict|TransformParallel|TransformInto|PredictBatchParallel|ServePredict|BatcherFlush|NNEDParallel|NNDTWParallel|MatcherBestShort)$$
-BENCH_GATE_PKGS ?= . ./internal/core ./internal/nn ./internal/dist ./internal/serve
-BENCH_BASELINE = BENCH_PR6.json
-BENCH_CURRENT = BENCH_PR6.tmp.json
+BENCH_GATE_RE ?= ^Benchmark(RPMTrainFixed|RPMPredict|TransformParallel|TransformInto|PredictBatchParallel|ServePredict|BatcherFlush|NNEDParallel|NNDTWParallel|MatcherBestShort|StreamAppend)$$
+BENCH_GATE_PKGS ?= . ./internal/core ./internal/nn ./internal/dist ./internal/serve ./internal/stream
+BENCH_BASELINE = BENCH_PR8.json
+BENCH_CURRENT = BENCH_PR8.tmp.json
 MAX_REGRESS ?= 25
 BENCH_GATE_RUN = $(GO) test -run xxx -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 100ms -count 3 $(BENCH_GATE_PKGS)
 
@@ -42,6 +42,7 @@ COVER_PKGS = . \
 	./internal/paa \
 	./internal/sax \
 	./internal/dist \
+	./internal/stream \
 	./internal/sequitur \
 	./internal/repair \
 	./internal/cluster \
@@ -51,7 +52,7 @@ COVER_PKGS = . \
 	./internal/obs
 
 .PHONY: all build test race vet lint bench fuzz cover check \
-	bench-json bench-gate bench-baseline load-smoke chaos
+	bench-json bench-gate bench-baseline load-smoke stream-smoke chaos
 
 all: check
 
@@ -92,6 +93,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDatasetRead -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run xxx -fuzz FuzzLoadClassifier -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz FuzzPredictRequest -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzStreamAppend -fuzztime $(FUZZTIME) ./internal/serve
 
 # Total test coverage over COVER_PKGS, enforced against COVER_FLOOR.
 # `go tool cover -func` prints a trailing "total:" line; awk compares it
@@ -126,6 +128,13 @@ LOAD_SMOKE_DURATION ?= 2s
 load-smoke:
 	./scripts/load_smoke.sh $(LOAD_SMOKE_DURATION)
 
+# Streaming smoke: serve a trained model and drive the streaming ingest
+# path (rpmload -streams: chunked appends round-robin over live
+# streams), then spot-check the registry listing and SSE framing.
+STREAM_SMOKE_DURATION ?= 2s
+stream-smoke:
+	./scripts/stream_smoke.sh $(STREAM_SMOKE_DURATION)
+
 # Chaos gate (DESIGN.md §13): the scripted fault-injection scenarios
 # (TestChaos*, each run twice with the same seed — identical injected
 # sequences and outcomes or the test fails) plus the binary-level chaos
@@ -137,4 +146,4 @@ chaos:
 	$(GO) test -run 'TestChaos' -count 1 ./internal/serve
 	./scripts/chaos_smoke.sh $(CHAOS_SMOKE_DURATION)
 
-check: build vet lint test race cover fuzz load-smoke
+check: build vet lint test race cover fuzz load-smoke stream-smoke

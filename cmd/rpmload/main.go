@@ -16,6 +16,13 @@
 // full jitter, per-model circuit breaker) instead of raw one-shot HTTP,
 // which is how a well-behaved production caller would drive the server.
 //
+// Stream mode (-streams N) drives the streaming subsystem instead of
+// /v1/predict: the generator maintains N live streams and each request
+// appends a pre-marshaled chunk (-stream-chunk samples) to the next
+// stream round-robin via POST /v1/streams/{id}, measuring sustained
+// samples-per-second ingest across many concurrent detectors. Closed
+// and open loop work unchanged; -retries is predict-only.
+//
 // Exit status: 0 on a clean run; 1 under -strict when nothing completed
 // or any request failed (non-200 envelope or transport error — shed
 // requests do not fail strict); 2 on usage errors.
@@ -23,6 +30,7 @@
 //	rpmload -addr http://localhost:8080 -duration 10s -concurrency 8
 //	rpmload -rate 200 -duration 30s -strict
 //	rpmload -duration 10s -retries 3 -strict
+//	rpmload -streams 64 -stream-chunk 128 -duration 10s -strict
 package main
 
 import (
@@ -91,10 +99,20 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the summary as JSON instead of text")
 		retries     = flag.Int("retries", 0, "route requests through the resilient client with this many attempts each (0 = raw one-shot HTTP)")
 		retrySeed   = flag.Int64("retry-seed", 1, "backoff-jitter seed for -retries")
+		streams     = flag.Int("streams", 0, "stream mode: maintain this many live streams and append chunks round-robin (0 = predict mode)")
+		streamChunk = flag.Int("stream-chunk", 64, "samples per stream append in -streams mode")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *seriesLen < 1 || *queries < 1 || *duration <= 0 || *rate < 0 {
 		fmt.Fprintln(os.Stderr, "rpmload: -concurrency, -series-len, -queries and -duration must be positive; -rate non-negative")
+		os.Exit(2)
+	}
+	if *streams < 0 || *streamChunk < 1 {
+		fmt.Fprintln(os.Stderr, "rpmload: -streams must be non-negative and -stream-chunk positive")
+		os.Exit(2)
+	}
+	if *streams > 0 && *retries > 0 {
+		fmt.Fprintln(os.Stderr, "rpmload: -retries applies to predict mode only, not -streams")
 		os.Exit(2)
 	}
 
@@ -114,11 +132,17 @@ func main() {
 
 	// Pre-generate the queries and pre-marshal the raw-path request
 	// bodies: the generator must not spend its loop on JSON encoding.
+	// Stream mode marshals chunks instead of whole series; both shapes
+	// are the same JSON (model + values).
 	rng := rand.New(rand.NewSource(*seed))
+	chunkLen := *seriesLen
+	if *streams > 0 {
+		chunkLen = *streamChunk
+	}
 	values := make([][]float64, *queries)
 	bodies := make([][]byte, *queries)
 	for i := range bodies {
-		v := make([]float64, *seriesLen)
+		v := make([]float64, chunkLen)
 		x := 0.0
 		for j := range v {
 			x += rng.NormFloat64()
@@ -134,19 +158,24 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var streamURLs []string
+	for k := 0; k < *streams; k++ {
+		streamURLs = append(streamURLs, fmt.Sprintf("%s/v1/streams/load-%04d", *addr, k))
+	}
 	g := &loadgen{
-		client: client,
-		url:    *addr + "/v1/predict",
-		model:  *model,
-		bodies: bodies,
-		values: values,
-		ok:     reg.Counter(ctrOK),
-		errs:   reg.Counter(ctrErrors),
-		trans:  reg.Counter(ctrTransport),
-		shed:   reg.Counter(ctrShed),
-		drops:  reg.Counter(ctrDropped),
-		lat:    reg.Summary(sumLatency),
-		errsBy: reg,
+		client:     client,
+		url:        *addr + "/v1/predict",
+		streamURLs: streamURLs,
+		model:      *model,
+		bodies:     bodies,
+		values:     values,
+		ok:         reg.Counter(ctrOK),
+		errs:       reg.Counter(ctrErrors),
+		trans:      reg.Counter(ctrTransport),
+		shed:       reg.Counter(ctrShed),
+		drops:      reg.Counter(ctrDropped),
+		lat:        reg.Summary(sumLatency),
+		errsBy:     reg,
 	}
 	if *retries > 0 {
 		sc, err := serveclient.New(serveclient.Config{
@@ -172,7 +201,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	report(os.Stdout, reg, *rate, *concurrency, elapsed, *jsonOut)
+	report(os.Stdout, reg, *rate, *concurrency, *streams, *streamChunk, elapsed, *jsonOut)
 	if *strict {
 		snap := reg.Snapshot()
 		if snap.Counter(ctrOK) == 0 || snap.Counter(ctrErrors) > 0 || snap.Counter(ctrTransport) > 0 {
@@ -208,10 +237,14 @@ type loadgen struct {
 	client *http.Client
 	sc     *serveclient.Client // non-nil with -retries: the resilient path
 	url    string
-	model  string
-	bodies [][]byte
-	values [][]float64
-	next   atomic.Int64
+	// streamURLs, when non-empty, switch the generator into stream mode:
+	// each request appends the next pre-marshaled chunk to the next
+	// stream round-robin.
+	streamURLs []string
+	model      string
+	bodies     [][]byte
+	values     [][]float64
+	next       atomic.Int64
 
 	ok     *obs.Counter
 	errs   *obs.Counter
@@ -229,13 +262,18 @@ type loadgen struct {
 // the Retry-After hint, capped, before its next request — backpressure
 // a closed loop must propagate, not ignore.
 func (g *loadgen) one() {
-	i := int(g.next.Add(1)-1) % len(g.bodies)
+	i := int(g.next.Add(1) - 1)
+	url := g.url
+	if len(g.streamURLs) > 0 {
+		url = g.streamURLs[i%len(g.streamURLs)]
+	}
+	i %= len(g.bodies)
 	if g.sc != nil {
 		g.oneRetrying(i)
 		return
 	}
 	start := time.Now()
-	resp, err := g.client.Post(g.url, "application/json", bytes.NewReader(g.bodies[i]))
+	resp, err := g.client.Post(url, "application/json", bytes.NewReader(g.bodies[i]))
 	if err != nil {
 		g.trans.Inc()
 		return
@@ -361,7 +399,7 @@ func (g *loadgen) openLoop(rate float64, d time.Duration, workers int) {
 
 // report prints the run summary: mode, throughput, outcome counts and
 // the latency distribution.
-func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed time.Duration, asJSON bool) {
+func report(w io.Writer, reg *obs.Registry, rate float64, workers, streams, streamChunk int, elapsed time.Duration, asJSON bool) {
 	snap := reg.Snapshot()
 	ok := snap.Counter(ctrOK)
 	errs := snap.Counter(ctrErrors)
@@ -371,6 +409,9 @@ func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed t
 	mode := fmt.Sprintf("closed-loop, %d workers", workers)
 	if rate > 0 {
 		mode = fmt.Sprintf("open-loop, %.0f req/s target", rate)
+	}
+	if streams > 0 {
+		mode += fmt.Sprintf(", %d streams × %d-sample chunks", streams, streamChunk)
 	}
 	throughput := float64(ok) / elapsed.Seconds()
 	lat := snap.Summary(sumLatency)
@@ -385,6 +426,9 @@ func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed t
 			"dropped":    drops,
 			"throughput": throughput,
 		}
+		if streams > 0 {
+			out["samplesPerSec"] = throughput * float64(streamChunk)
+		}
 		if lat != nil {
 			out["latency"] = lat
 		}
@@ -394,6 +438,9 @@ func report(w io.Writer, reg *obs.Registry, rate float64, workers int, elapsed t
 	fmt.Fprintf(w, "rpmload: %s, %v elapsed\n", mode, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "completed %d (%.1f req/s)  errors %d  transport-errors %d  shed %d  dropped %d\n",
 		ok, throughput, errs, trans, shed, drops)
+	if streams > 0 {
+		fmt.Fprintf(w, "ingest %.0f samples/s across %d streams\n", throughput*float64(streamChunk), streams)
+	}
 	if lat != nil && lat.Count > 0 {
 		fmt.Fprintf(w, "latency  mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
 			time.Duration(lat.MeanNS).Round(10*time.Microsecond),

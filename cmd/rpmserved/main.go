@@ -13,6 +13,10 @@
 //	POST /v1/predict        {"model":"name","values":[...]}    → {"model","version","label"}
 //	POST /v1/predict:batch  {"model":"name","series":[[...]]}  → {"model","version","labels"}
 //	GET  /v1/models         list loaded models and versions
+//	POST /v1/streams/{id}          append samples to a live stream (created on first touch)
+//	GET  /v1/streams/{id}          stream state; DELETE closes the stream
+//	GET  /v1/streams/{id}/events   SSE feed of committed class-change events (Last-Event-ID resume)
+//	GET  /v1/streams               list live streams and their memory footprint
 //	POST /admin/reload      re-scan the model directory (also SIGHUP)
 //	GET  /healthz, /readyz  liveness / readiness
 //	GET  /debug/obs         live serve.* counters, latency summaries, pools
@@ -63,6 +67,10 @@ func main() {
 		queueSize    = flag.Int("queue", 256, "batch queue bound; a full queue sheds with 429")
 		workers      = flag.Int("workers", 0, "predict fan-out per flush (0 = all cores, 1 = sequential)")
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (queueing + prediction)")
+		maxStreams   = flag.Int("max-streams", 10000, "live-stream cap; creation beyond it sheds with 429 (-1 = unbounded)")
+		streamChunk  = flag.Int("stream-chunk", 8192, "max samples per stream append; larger chunks get 413")
+		streamK      = flag.Int("stream-confirm", 3, "hysteresis depth: consecutive agreeing samples before a class change commits")
+		streamDead   = flag.Int("stream-refractory", 0, "post-commit dead time in samples during which no further change commits")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
 		noDebug      = flag.Bool("no-debug", false, "disable /debug/obs, /debug/vars and /debug/pprof")
 		faultSpec    = flag.String("faults", "", "chaos fault-injection spec, e.g. \"store.load:p=0.5;batcher.flush:d=50ms:n=3\" (sites: "+strings.Join(faults.KnownSites(), ", ")+"); empty = off")
@@ -79,23 +87,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpmserved: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *models, *maxBatch, *queueSize, *workers, *maxDelay, *timeout, *drainTimeout, !*noDebug, inj); err != nil {
+	cfg := serve.Config{
+		ModelDir:         *models,
+		MaxBatch:         *maxBatch,
+		MaxDelay:         *maxDelay,
+		QueueSize:        *queueSize,
+		Workers:          *workers,
+		RequestTimeout:   *timeout,
+		MaxStreams:       *maxStreams,
+		MaxStreamChunk:   *streamChunk,
+		StreamConfirm:    *streamK,
+		StreamRefractory: *streamDead,
+		Faults:           inj,
+	}
+	if err := run(*addr, cfg, *drainTimeout, !*noDebug, inj); err != nil {
 		log.Fatalf("rpmserved: %v", err)
 	}
 }
 
-func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeout, drainTimeout time.Duration, debug bool, inj *faults.Injector) error {
+func run(addr string, cfg serve.Config, drainTimeout time.Duration, debug bool, inj *faults.Injector) error {
 	reg := obs.NewRegistry()
-	srv, err := serve.New(serve.Config{
-		ModelDir:       models,
-		MaxBatch:       maxBatch,
-		MaxDelay:       maxDelay,
-		QueueSize:      queueSize,
-		Workers:        workers,
-		RequestTimeout: timeout,
-		Registry:       reg,
-		Faults:         inj,
-	})
+	cfg.Registry = reg
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -107,7 +120,7 @@ func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeou
 			m.Name, m.Version, m.NumPatterns, m.Classes, m.Path)
 	}
 	if srv.Store().Len() == 0 {
-		log.Printf("warning: no loadable models in %s; /readyz stays 503 until a reload finds one", models)
+		log.Printf("warning: no loadable models in %s; /readyz stays 503 until a reload finds one", cfg.ModelDir)
 	}
 
 	mux := http.NewServeMux()
@@ -154,7 +167,8 @@ func run(addr, models string, maxBatch, queueSize, workers int, maxDelay, timeou
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (models=%s maxBatch=%d maxDelay=%s queue=%d)", addr, models, maxBatch, maxDelay, queueSize)
+		log.Printf("serving on %s (models=%s maxBatch=%d maxDelay=%s queue=%d maxStreams=%d)",
+			addr, cfg.ModelDir, cfg.MaxBatch, cfg.MaxDelay, cfg.QueueSize, cfg.MaxStreams)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

@@ -492,6 +492,23 @@ func (c *Classifier) PredictBatchContext(ctx context.Context, test ts.Dataset) (
 	return out, nil
 }
 
+// PredictVector classifies a point already in the transformed
+// (pattern-distance) space: feat[k] must be the closest-match distance
+// to pattern k, as produced by Transform. It exists for the streaming
+// layer, which maintains the feature vector incrementally and therefore
+// never has a whole series to hand to Predict. The label is computed by
+// the identical decision function (custom predictor or the trained
+// SVM), so PredictVector(Transform(v)) == Predict(v) for every v the
+// non-degenerate path handles. It requires a model with patterns
+// (NumPatterns > 0) and len(feat) == NumPatterns; the streaming layer
+// validates both once at stream-creation time.
+func (c *Classifier) PredictVector(feat []float64) int {
+	if c.custom != nil {
+		return c.custom.Predict(feat)
+	}
+	return c.model.Predict(feat)
+}
+
 // predictFallback is 1NN-ED over the raw training set, used only when the
 // pattern pool came out empty (e.g. pathological parameters on tiny data).
 func (c *Classifier) predictFallback(v []float64) int {

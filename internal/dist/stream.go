@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"math"
+
+	"rpm/internal/ts"
+)
+
+// This file is the incremental (streaming) counterpart of the batch
+// closest-match scan: the same arithmetic as bestMatchZ, re-cut so a
+// caller that receives a series one sample at a time pays O(1) rolling
+// mean/variance work per (sample, window length) and one early-abandoned
+// window evaluation per (sample, pattern) — and ends up with a Match
+// that is bit-identical to Matcher.Best over the fully assembled series
+// (pinned by quick.Check in stream_test.go).
+//
+// The split of responsibilities mirrors the Query path: RollingStats is
+// the per-length normalization state every same-length pattern shares
+// (the WindowStats recurrence, kept as running sums instead of a
+// precomputed array), StreamScan is the tens-of-bytes per-pattern state
+// (current best squared distance and its position), and the caller —
+// internal/stream's Detector — owns the one ring buffer of raw samples
+// all lengths read their windows from.
+
+// RollingStats is the O(1)-per-sample rolling z-normalization state of
+// one window length over an append-only series: the running sum and
+// sum-of-squares of the most recent n samples. Push folds one sample in
+// using the exact recurrence of bestMatchZ / WindowStats.compute —
+// initial element-by-element accumulation over the first n samples,
+// then sum += in - out per slide — so the (mean, inv) pair it yields
+// for window i is bit-identical to the batch scan's, including the
+// inv == 0 constant-window sentinel. Do not "simplify" the update
+// arithmetic: any reassociation rounds differently and breaks the
+// streaming-vs-batch equivalence contract.
+type RollingStats struct {
+	n    int
+	fn   float64
+	sum  float64
+	sumq float64
+	seen int
+}
+
+// NewRollingStats returns rolling stats for window length n (n > 0; it
+// panics otherwise, matching Query.Stats' contract).
+func NewRollingStats(n int) RollingStats {
+	if n <= 0 {
+		panic("dist: RollingStats window length out of range")
+	}
+	return RollingStats{n: n, fn: float64(n)}
+}
+
+// Len returns the window length.
+func (r *RollingStats) Len() int { return r.n }
+
+// Seen returns how many samples have been pushed.
+func (r *RollingStats) Seen() int { return r.seen }
+
+// Full reports whether at least one complete window has been seen.
+func (r *RollingStats) Full() bool { return r.seen >= r.n }
+
+// Push folds the next sample in and, once a full window exists, returns
+// that window's (mean, inv) — inv 0 for a constant window, mirroring
+// WindowStats — with ok true. out must be the sample leaving the window
+// (the one pushed n samples ago); it is ignored while the first window
+// is still filling, so callers may pass 0 until Full reports true
+// before the push.
+func (r *RollingStats) Push(in, out float64) (mean, inv float64, ok bool) {
+	if r.seen < r.n {
+		// First window still filling: the element-by-element accumulation
+		// of bestMatchZ's initial loop, one element per call.
+		r.sum += in
+		r.sumq += in * in
+		r.seen++
+		if r.seen < r.n {
+			return 0, 0, false
+		}
+	} else {
+		r.seen++
+		r.sum += in - out
+		r.sumq += in*in - out*out
+	}
+	mean = r.sum / r.fn
+	variance := r.sumq/r.fn - mean*mean
+	if variance < ts.ZNormThreshold*ts.ZNormThreshold {
+		return mean, 0, true // constant window sentinel: z-norm is the zero vector
+	}
+	return mean, 1 / math.Sqrt(variance), true
+}
+
+// Reset returns the stats to their initial (empty) state.
+func (r *RollingStats) Reset() {
+	r.sum, r.sumq, r.seen = 0, 0, 0
+}
+
+// StreamScan is the per-pattern state of a streaming closest-match
+// search: the best squared distance seen so far and its window start
+// position. Two words per pattern — the footprint that lets one process
+// hold the scan state of a hundred thousand streams.
+type StreamScan struct {
+	best    float64
+	bestPos int
+}
+
+// Reset empties the scan (no window evaluated yet).
+func (s *StreamScan) Reset() {
+	s.best = math.Inf(1)
+	s.bestPos = -1
+}
+
+// NewStreamScan returns an empty scan.
+func NewStreamScan() StreamScan {
+	var s StreamScan
+	s.Reset()
+	return s
+}
+
+// StreamEval folds one window into the scan: window is the raw samples
+// series[pos : pos+m.Len()], (mean, inv) its RollingStats output. The
+// body is bestMatchZ's window evaluation verbatim — the constant-window
+// Σzp² branch, the per-element early abandon against the current best,
+// the strict d < best update — so evaluating windows 0..i in order
+// leaves the scan bit-identical to a batch scan over series[:pos+m.Len()].
+// Ties need no explicit rule: positions only grow, so the first strict
+// improvement wins, exactly as in the batch scan.
+func (m *Matcher) StreamEval(s *StreamScan, window []float64, mean, inv float64, pos int) {
+	best := s.best
+	var d float64
+	if inv == 0 {
+		// constant window: z-norm is the zero vector
+		for _, x := range m.zp {
+			d += x * x
+			if d > best {
+				d = math.Inf(1)
+				break
+			}
+		}
+	} else {
+		zp := m.zp
+		w := window[:len(zp)] // BCE hint + contract check: len(window) == m.Len()
+		for j, x := range w {
+			diff := (x-mean)*inv - zp[j]
+			d += diff * diff
+			if d > best {
+				d = math.Inf(1)
+				break
+			}
+		}
+	}
+	if d < best {
+		s.best = d
+		s.bestPos = pos
+	}
+}
+
+// StreamMatch reads the scan as a Match in Best's units: the length-
+// normalized root distance and the best window start (+Inf / -1 while
+// no window has been evaluated). For any series with at least m.Len()
+// samples fed through StreamEval in window order, the result is
+// bit-identical to m.Best(series) — Dist AND Pos. Streaming never
+// role-swaps: a stream shorter than the pattern reports +Inf / -1 where
+// Best would slide the series inside the pattern instead.
+func (m *Matcher) StreamMatch(s *StreamScan) Match {
+	return Match{Dist: math.Sqrt(s.best / float64(len(m.zp))), Pos: s.bestPos}
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// feedStream drives the streaming kernel exactly as a caller would: one
+// RollingStats per window length, one StreamScan per matcher, windows
+// read from the growing series.
+func feedStream(m *Matcher, series []float64) Match {
+	n := m.Len()
+	rs := NewRollingStats(n)
+	sc := NewStreamScan()
+	for t, x := range series {
+		var out float64
+		if rs.Full() {
+			out = series[t-n]
+		}
+		mean, inv, ok := rs.Push(x, out)
+		if !ok {
+			continue
+		}
+		pos := t + 1 - n
+		m.StreamEval(&sc, series[pos:t+1], mean, inv, pos)
+	}
+	return m.StreamMatch(&sc)
+}
+
+// genStreamSeries builds the hostile regimes the streaming kernel must
+// agree with the batch kernel on: smooth walks, constant stretches
+// (inv == 0 sentinel), exact repeats (distance ties), and NaN runs.
+func genStreamSeries(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	x := rng.NormFloat64()
+	hold := 0 // remaining samples of a constant stretch
+	for i := range v {
+		if hold > 0 {
+			hold--
+			v[i] = x
+			continue
+		}
+		switch rng.Intn(8) {
+		case 0: // constant stretch (exercises the inv == 0 sentinel)
+			hold = 1 + rng.Intn(8)
+			v[i] = x
+		case 1: // jump
+			x = rng.NormFloat64() * 10
+			v[i] = x
+		case 2: // exact repeat of an earlier sample (tie fodder)
+			if i > 0 {
+				v[i] = v[rng.Intn(i)]
+				x = v[i]
+			} else {
+				v[i] = x
+			}
+		case 3:
+			if rng.Intn(4) == 0 {
+				v[i] = math.NaN()
+			} else {
+				x += rng.NormFloat64()
+				v[i] = x
+			}
+		default: // random walk
+			x += rng.NormFloat64()
+			v[i] = x
+		}
+	}
+	return v
+}
+
+// TestStreamBitIdenticalToBest pins the streaming contract: feeding a
+// series sample-by-sample yields bit-identical Dist AND Pos to the
+// batch Matcher.Best scan, across smooth, constant, tie-heavy and
+// NaN-bearing regimes.
+func TestStreamBitIdenticalToBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func() bool {
+		n := 2 + rng.Intn(24)
+		sn := n + rng.Intn(120) // series at least as long as the pattern
+		pat := genStreamSeries(rng, n)
+		series := genStreamSeries(rng, sn)
+		m := NewMatcher(pat)
+		want := m.Best(series)
+		got := feedStream(m, series)
+		if got.Pos != want.Pos {
+			t.Logf("pos: got %d want %d (n=%d sn=%d)", got.Pos, want.Pos, n, sn)
+			return false
+		}
+		// Bit-identical: compare raw bits so NaN==NaN and -0 != 0.
+		if math.Float64bits(got.Dist) != math.Float64bits(want.Dist) {
+			t.Logf("dist: got %x want %x", math.Float64bits(got.Dist), math.Float64bits(want.Dist))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamShortSeries pins the no-role-swap contract: a stream shorter
+// than the pattern reports +Inf / -1 (Best would slide the series inside
+// the pattern instead — a whole-series semantic a stream cannot have).
+func TestStreamShortSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pat := genStreamSeries(rng, 16)
+	m := NewMatcher(pat)
+	for sn := 0; sn < 16; sn++ {
+		got := feedStream(m, genStreamSeries(rng, sn))
+		if !math.IsInf(got.Dist, 1) || got.Pos != -1 {
+			t.Fatalf("short series len %d: got %v, want {+Inf,-1}", sn, got)
+		}
+	}
+}
+
+// TestRollingStatsMatchesWindowStats pins that the rolling recurrence
+// yields exactly the (mean, inv) sequence WindowStats.compute produces —
+// the shared foundation both equivalence proofs stand on.
+func TestRollingStatsMatchesWindowStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(16)
+		series := genStreamSeries(rng, n+rng.Intn(80))
+		var ws WindowStats
+		ws.compute(series, n)
+		rs := NewRollingStats(n)
+		w := 0
+		for t2, x := range series {
+			var out float64
+			if rs.Full() {
+				out = series[t2-n]
+			}
+			mean, inv, ok := rs.Push(x, out)
+			if !ok {
+				continue
+			}
+			if math.Float64bits(mean) != math.Float64bits(ws.mean[w]) ||
+				math.Float64bits(inv) != math.Float64bits(ws.inv[w]) {
+				t.Fatalf("window %d (n=%d): rolling (%v,%v) != batch (%v,%v)",
+					w, n, mean, inv, ws.mean[w], ws.inv[w])
+			}
+			w++
+		}
+		if w != ws.Windows() {
+			t.Fatalf("rolling yielded %d windows, batch %d", w, ws.Windows())
+		}
+	}
+}
+
+// TestRollingStatsPanics pins the constructor contract.
+func TestRollingStatsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRollingStats(0) did not panic")
+		}
+	}()
+	NewRollingStats(0)
+}

@@ -53,6 +53,19 @@ const (
 	// SiteWriteFail aborts the response write of a successful
 	// prediction, simulating a client connection dying at write time.
 	SiteWriteFail = "server.write"
+	// SiteStreamAppend sheds a stream append with 429 as if the stream
+	// layer were saturated, exercising client retry against a live
+	// detector (a shed append must change nothing: no samples consumed,
+	// no events committed).
+	SiteStreamAppend = "stream.append"
+	// SiteSSEFlush stalls an SSE event flush for the configured d, a slow
+	// or congested subscriber connection (events must coalesce, never
+	// duplicate or drop).
+	SiteSSEFlush = "stream.sse.flush"
+	// SiteSSEWrite aborts an SSE connection mid-feed, a subscriber dying
+	// at write time; the stream itself must be unaffected and a
+	// reconnecting subscriber resumes losslessly via Last-Event-ID.
+	SiteSSEWrite = "stream.sse.write"
 )
 
 // KnownSites lists every site name New accepts, sorted.
@@ -63,6 +76,9 @@ func KnownSites() []string {
 		SiteDeadline,
 		SiteWriteFail,
 		SiteStoreLoad,
+		SiteStreamAppend,
+		SiteSSEFlush,
+		SiteSSEWrite,
 	}
 }
 

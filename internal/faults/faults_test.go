@@ -266,7 +266,7 @@ func TestKnownSitesSorted(t *testing.T) {
 	if !reflect.DeepEqual(ks, sortedCopy(ks)) {
 		t.Fatalf("KnownSites not sorted: %v", ks)
 	}
-	if len(ks) != 5 {
-		t.Fatalf("expected the 5 documented sites, got %v", ks)
+	if len(ks) != 8 {
+		t.Fatalf("expected the 8 documented sites, got %v", ks)
 	}
 }

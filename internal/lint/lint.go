@@ -77,6 +77,7 @@ func Defaults() Config {
 			"rpm/internal/direct",
 			"rpm/internal/dist",
 			"rpm/internal/paa",
+			"rpm/internal/stream",
 		},
 		ObsPkg:  "rpm/internal/obs",
 		RootPkg: "rpm",

@@ -18,6 +18,7 @@ package serve
 //     contract of internal/faults (DESIGN.md §13).
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 
 	"rpm"
 	"rpm/internal/faults"
+	"rpm/internal/stream"
 )
 
 // newChaosServer builds a Server with the given armed injector over a
@@ -360,6 +362,171 @@ func TestChaosWriteAbortStorm(t *testing.T) {
 		if n := s.reg.Snapshot().Counter(CtrErrPrefix + "internal"); n != 0 {
 			t.Fatalf("write aborts surfaced as %d internal errors", n)
 		}
+		return eventsJSON(t, inj), transcript
+	})
+}
+
+// TestChaosStreamAppendStorm (scenario 6): a stream-append storm under
+// three armed stream faults at once — injected 429 sheds on append,
+// connection aborts mid-SSE-feed, and flush stalls. The invariants:
+// a shed append consumes no samples and commits no events (the client
+// retry converges on exactly the reference event sequence), an SSE
+// client that reconnects with Last-Event-ID after every abort receives
+// every event exactly once — no duplicates, no losses — and the server
+// drains cleanly with a feed still open (invariants 2, 4, 5).
+func TestChaosStreamAppendStorm(t *testing.T) {
+	fixtures(t)
+	cfg := Config{StreamConfirm: 1}
+	series, wantEvents := eventfulSeries(t, fixClf1, cfg, 3)
+	runTwice(t, func(t *testing.T, seed int64) (string, []string) {
+		inj, err := faults.New(seed,
+			"stream.append:p=0.3;stream.sse.write:p=0.35;stream.sse.flush:p=0.5:d=2ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ts, _ := newTestServer(t, func(c *Config) {
+			c.Faults = inj
+			c.StreamConfirm = 1
+		})
+		var transcript []string
+
+		// Phase 1 — append storm. Each shed append answers 429 overloaded
+		// and must be side-effect free: the retry that follows lands on
+		// the exact sample count the previous success left, and the final
+		// event list is byte-for-byte the reference detector's.
+		var served []stream.Event
+		var seen int64
+		sheds := 0
+		for i := 0; i < len(series); {
+			n := 29
+			if i+n > len(series) {
+				n = len(series) - i
+			}
+			resp, body := postJSON(t, ts.URL+"/v1/streams/storm", streamBody("cbf", series[i:i+n]))
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
+				if code := errCode(t, resp.StatusCode, body); code != "overloaded" {
+					t.Fatalf("shed append: code %q", code)
+				}
+				sheds++
+				continue // retry the SAME chunk: the shed consumed nothing
+			case http.StatusOK:
+				var out streamAppendResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Fatal(err)
+				}
+				if out.Seen != seen+int64(n) {
+					t.Fatalf("append at %d: seen %d, want %d — a shed append consumed samples",
+						i, out.Seen, seen+int64(n))
+				}
+				seen = out.Seen
+				served = append(served, out.NewEvents...)
+				i += n
+			default:
+				t.Fatalf("append at %d: status %d: %s", i, resp.StatusCode, body)
+			}
+		}
+		if fmt.Sprint(served) != fmt.Sprint(wantEvents) {
+			t.Fatalf("storm events diverged from reference:\n%+v\nvs\n%+v", served, wantEvents)
+		}
+		transcript = append(transcript, fmt.Sprintf("storm: %d events, %d sheds", len(served), sheds))
+
+		// Phase 2 — SSE replay under aborts and stalls. A client that
+		// reconnects with Last-Event-ID after every connection abort must
+		// assemble the full event list exactly once.
+		var got []stream.Event
+		cursor := -1
+		reconnects := 0
+		for len(got) < len(wantEvents) {
+			req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/streams/storm/events", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cursor >= 0 {
+				req.Header.Set("Last-Event-ID", fmt.Sprint(cursor))
+			}
+			feed, err := ts.Client().Do(req)
+			if err != nil {
+				reconnects++ // aborted before headers committed
+				continue
+			}
+			if feed.StatusCode != http.StatusOK {
+				t.Fatalf("SSE connect: %d", feed.StatusCode)
+			}
+			sc := bufio.NewScanner(feed.Body)
+			for len(got) < len(wantEvents) {
+				ev, ok, err := readSSE(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					reconnects++ // injected mid-feed abort: resume at cursor
+					break
+				}
+				if ev.event.Seq != cursor+1 && !(cursor == -1 && ev.event.Seq == 0) {
+					t.Fatalf("SSE delivered seq %d after cursor %d — duplicate or gap", ev.event.Seq, cursor)
+				}
+				got = append(got, ev.event)
+				cursor = ev.event.Seq
+			}
+			feed.Body.Close()
+		}
+		if fmt.Sprint(got) != fmt.Sprint(wantEvents) {
+			t.Fatalf("SSE reassembly diverged from reference:\n%+v\nvs\n%+v", got, wantEvents)
+		}
+		transcript = append(transcript, fmt.Sprintf("sse: %d events after %d reconnects", len(got), reconnects))
+
+		// Phase 3 — drain with an open feed. A fresh feed parked one event
+		// before the end replays that event (proving it is live), then
+		// BeginDrain must end it promptly; post-drain appends answer 503
+		// and Close is clean (invariant 4).
+		var tail *http.Response
+		for tail == nil {
+			req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/streams/storm/events", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Last-Event-ID", fmt.Sprint(wantEvents[len(wantEvents)-2].Seq))
+			feed, err := ts.Client().Do(req)
+			if err != nil {
+				continue
+			}
+			sc := bufio.NewScanner(feed.Body)
+			ev, ok, err := readSSE(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok { // aborted before the tail event arrived: reconnect
+				feed.Body.Close()
+				continue
+			}
+			if want := wantEvents[len(wantEvents)-1]; ev.event != want {
+				t.Fatalf("tail feed replayed %+v, want %+v", ev.event, want)
+			}
+			tail = feed
+		}
+		defer tail.Body.Close()
+		ended := make(chan struct{})
+		go func() {
+			defer close(ended)
+			io.Copy(io.Discard, tail.Body) // blocks until the feed ends
+		}()
+		s.BeginDrain()
+		select {
+		case <-ended:
+		case <-time.After(10 * time.Second):
+			t.Fatal("SSE feed still open 10s after BeginDrain")
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/streams/storm", streamBody("", []float64{1}))
+		if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, resp.StatusCode, body) != "draining" {
+			t.Fatalf("post-drain append: %d %s", resp.StatusCode, body)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Fatalf("server failed to drain cleanly under stream faults: %v", err)
+		}
+		transcript = append(transcript, "post-drain: 503 draining; closed clean")
 		return eventsJSON(t, inj), transcript
 	})
 }

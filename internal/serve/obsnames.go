@@ -44,16 +44,36 @@ const (
 	// across every site (0 in production, where the injector is nil).
 	CtrFaultsInjected = "serve.faults.injected"
 
+	// Streaming counters: CtrRequestsStream counts accepted stream
+	// appends, CtrStreamSamples the samples those appends carried,
+	// CtrStreamEvents the committed class-change events, and
+	// CtrStreamsCreated / CtrStreamsClosed the stream lifecycle (their
+	// difference is GaugeStreams).
+	CtrRequestsStream = "serve.requests.stream"
+	CtrStreamSamples  = "serve.stream.samples"
+	CtrStreamEvents   = "serve.stream.events"
+	CtrStreamsCreated = "serve.streams.created"
+	CtrStreamsClosed  = "serve.streams.closed"
+
 	GaugeModels     = "serve.models"
 	GaugeQueueDepth = "serve.queue.depth"
+	// GaugeStreams is the number of live streams; GaugeStreamBytes their
+	// summed fixed detector footprint (the per-stream memory budget,
+	// DESIGN.md §14).
+	GaugeStreams     = "serve.streams"
+	GaugeStreamBytes = "serve.streams.bytes"
 
 	PoolBatch = "serve.pool.batch"
 
 	SumLatencyPredict = "serve.latency.predict"
 	SumLatencyBatch   = "serve.latency.predict_batch"
+	// SumLatencyStream is the per-append latency summary of the
+	// streaming path.
+	SumLatencyStream = "serve.latency.stream_append"
 
 	SpanServe        = "serve"
 	SpanPredict      = "predict"
 	SpanPredictBatch = "predict_batch"
 	SpanReload       = "reload"
+	SpanStream       = "stream_append"
 )

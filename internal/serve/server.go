@@ -13,6 +13,7 @@ import (
 	"rpm"
 	"rpm/internal/faults"
 	"rpm/internal/obs"
+	"rpm/internal/stream"
 )
 
 // Unexported sentinels for model-resolution failures; mapped to HTTP
@@ -49,6 +50,21 @@ type Config struct {
 	// MaxBodyBytes caps request bodies; larger payloads get 413
 	// (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxStreams caps live streams; creation beyond it is shed with
+	// 429 + Retry-After (default 10000, -1 = unbounded).
+	MaxStreams int
+	// MaxStreamChunk caps the samples one stream append may carry;
+	// larger chunks get 413 (default 8192).
+	MaxStreamChunk int
+	// StreamConfirm is the hysteresis depth: a class change commits only
+	// after this many consecutive agreeing samples (default 3).
+	StreamConfirm int
+	// StreamRefractory is the post-commit dead time in samples during
+	// which no further change may commit (default 0).
+	StreamRefractory int
+	// StreamEvents bounds the retained event history per stream — the
+	// SSE Last-Event-ID replay horizon (default 256).
+	StreamEvents int
 	// Registry receives the serving-layer observability (serve.*
 	// counters, latency summaries, the batch pool, the uptime span). A
 	// fresh registry is created when nil, retrievable via Server.Obs.
@@ -77,6 +93,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = 10000
+	}
+	if c.MaxStreamChunk <= 0 {
+		c.MaxStreamChunk = 8192
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -91,6 +113,7 @@ type Server struct {
 	reg     *obs.Registry
 	store   *Store
 	batcher *batcher
+	streams *stream.Registry
 	faults  *faults.Injector
 	mux     *http.ServeMux
 
@@ -100,15 +123,25 @@ type Server struct {
 	requests   *obs.Counter
 	reqPredict *obs.Counter
 	reqBatch   *obs.Counter
+	reqStream  *obs.Counter
 	shed       *obs.Counter
 	injected   *obs.Counter
 
+	streamSamples *obs.Counter
+	streamEvents  *obs.Counter
+	streamsMade   *obs.Counter
+	streamsClosed *obs.Counter
+	gaugeStreams  *obs.Gauge
+	gaugeStrBytes *obs.Gauge
+
 	latPredict *obs.Summary
 	latBatch   *obs.Summary
+	latStream  *obs.Summary
 
 	spanPredict *obs.Span
 	spanBatch   *obs.Span
 	spanReload  *obs.Span
+	spanStream  *obs.Span
 }
 
 // New builds a Server over cfg.ModelDir, performing the initial load.
@@ -125,19 +158,31 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		reg:        reg,
 		store:      NewStore(cfg.ModelDir, cfg.Workers, reg, cfg.Faults),
+		streams:    stream.NewRegistry(cfg.MaxStreams),
 		faults:     cfg.Faults,
 		requests:   reg.Counter(CtrRequests),
 		reqPredict: reg.Counter(CtrRequestsPredict),
 		reqBatch:   reg.Counter(CtrRequestsBatch),
+		reqStream:  reg.Counter(CtrRequestsStream),
 		shed:       reg.Counter(CtrShed),
 		injected:   reg.Counter(CtrFaultsInjected),
+
+		streamSamples: reg.Counter(CtrStreamSamples),
+		streamEvents:  reg.Counter(CtrStreamEvents),
+		streamsMade:   reg.Counter(CtrStreamsCreated),
+		streamsClosed: reg.Counter(CtrStreamsClosed),
+		gaugeStreams:  reg.Gauge(GaugeStreams),
+		gaugeStrBytes: reg.Gauge(GaugeStreamBytes),
+
 		latPredict: reg.Summary(SumLatencyPredict),
 		latBatch:   reg.Summary(SumLatencyBatch),
+		latStream:  reg.Summary(SumLatencyStream),
 	}
 	root := reg.StartSpan(SpanServe) // never ended: wall reads as uptime
 	s.spanPredict = root.Child(SpanPredict)
 	s.spanBatch = root.Child(SpanPredictBatch)
 	s.spanReload = root.Child(SpanReload)
+	s.spanStream = root.Child(SpanStream)
 	if _, err := s.store.Reload(); err != nil {
 		return nil, err
 	}
@@ -151,6 +196,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /admin/reload", s.guarded(s.handleReload))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/streams", s.guarded(s.handleStreamList))
+	s.mux.HandleFunc("POST /v1/streams/{id}", s.guarded(s.handleStreamAppend))
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.guarded(s.handleStreamGet))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.guarded(s.handleStreamDelete))
+	s.mux.HandleFunc("GET /v1/streams/{id}/events", s.guarded(s.handleStreamEvents))
 	return s, nil
 }
 
@@ -178,10 +228,16 @@ func (s *Server) Reload() (ReloadReport, error) {
 // anything: new requests are rejected with 503 "draining", /readyz
 // answers 503 so load balancers take the instance out of rotation, and
 // /healthz stays 200 — the process is alive and still answering its
-// queued work. Call it the moment shutdown is decided (cmd/rpmserved
-// does, on SIGTERM, before http.Server.Shutdown); Close implies it.
-// Idempotent.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// queued work. Open SSE event feeds are woken and ended (their
+// subscriber channels close) so http.Server.Shutdown is not held
+// hostage by long-lived connections; the streams themselves stay
+// readable until Close. Call it the moment shutdown is decided
+// (cmd/rpmserved does, on SIGTERM, before http.Server.Shutdown); Close
+// implies it. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.streams.Drain()
+}
 
 // Draining reports whether BeginDrain (or Close) has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -204,11 +260,16 @@ func (s *Server) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.streams.Close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
+
+// Streams returns the server's live-stream registry (tests and
+// cmd/rpmserved introspection).
+func (s *Server) Streams() *stream.Registry { return s.streams }
 
 // ---------------------------------------------------------------------------
 // Request/response shapes
@@ -266,8 +327,14 @@ func errorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable, "draining"
-	case errors.Is(err, errUnknownModel):
+	case errors.Is(err, errUnknownModel), errors.Is(err, errUnknownStream):
 		return http.StatusNotFound, "not_found"
+	case errors.Is(err, stream.ErrTooManyStreams):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, errChunkTooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, stream.ErrClosed):
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, errNoModels):
 		return http.StatusServiceUnavailable, "no_models"
 	case errors.Is(err, errAmbiguousModel):

@@ -27,6 +27,7 @@ import (
 	"rpm"
 	"rpm/internal/faults"
 	"rpm/internal/obs"
+	"rpm/internal/stream"
 )
 
 // Model is one loaded classifier snapshot, immutable once published.
@@ -51,10 +52,38 @@ type Model struct {
 
 	clf *rpm.Classifier
 	sum [sha256.Size]byte
+
+	// Streaming state is derived lazily, once per content version: the
+	// first stream created against this model builds the shared immutable
+	// stream.Model (matchers grouped by pattern length); every later
+	// stream reuses it. Models that cannot stream (pattern-free 1NN
+	// fallback, rotation-invariant transform) cache the typed error.
+	streamOnce  sync.Once
+	streamModel *stream.Model
+	streamErr   error
 }
 
 // Classifier exposes the underlying classifier (read-only use).
 func (m *Model) Classifier() *rpm.Classifier { return m.clf }
+
+// StreamModel returns the shared streaming state for this model
+// version, building it on first use. The error (an rpm.ErrBadInput for
+// models that cannot stream) is stable across calls.
+func (m *Model) StreamModel() (*stream.Model, error) {
+	m.streamOnce.Do(func() {
+		if err := m.clf.ValidateStreamingFeatures(m.clf.NumPatterns()); err != nil {
+			m.streamErr = err
+			return
+		}
+		pats := m.clf.Patterns()
+		raw := make([][]float64, len(pats))
+		for i, p := range pats {
+			raw[i] = p.Values
+		}
+		m.streamModel, m.streamErr = stream.NewModel(raw, m.clf)
+	})
+	return m.streamModel, m.streamErr
+}
 
 // catalog is the immutable set of models the store publishes with one
 // atomic pointer swap. defaultName is non-empty iff exactly one model is

@@ -1,0 +1,33 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkStreamAppend measures the steady-state streaming ingest
+// path — one warm detector consuming 256-sample chunks — in ns/op with
+// the per-sample rate as a custom metric. Gated in BENCH_PR8.json
+// (`make bench-gate`): a regression here is a regression in sustainable
+// per-stream ingest.
+func BenchmarkStreamAppend(b *testing.B) {
+	m := soakModel(b)
+	d := m.NewDetector(Config{})
+	rng := rand.New(rand.NewSource(5))
+	chunk := make([]float64, 256)
+	x := 0.0
+	for i := range chunk {
+		x += rng.NormFloat64()
+		chunk[i] = x
+	}
+	for i := 0; i < 4; i++ {
+		d.Append(chunk) // warm: past warm-up and into steady slide state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Append(chunk)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(chunk))/b.Elapsed().Seconds(), "samples/s")
+}

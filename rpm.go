@@ -294,6 +294,41 @@ func (c *Classifier) TransformChecked(values []float64) ([]float64, error) {
 	return out, nil
 }
 
+// PredictVector classifies a point already in the transformed
+// (pattern-distance) space: feat[k] is the closest-match distance to
+// pattern k, as Transform produces. It exists for incremental
+// (streaming) inference, where the feature vector is maintained sample
+// by sample and there is no whole series to hand to Predict;
+// PredictVector(Transform(v)) == Predict(v) for every valid v. It is a
+// hot-path primitive with a panic contract instead of an error return:
+// it requires ValidateStreamingFeatures(len(feat)) == nil — a model
+// with at least one pattern and a feature vector of NumPatterns
+// entries — which stream creation checks once, not once per sample.
+func (c *Classifier) PredictVector(feat []float64) int { return c.inner.PredictVector(feat) }
+
+// ValidateStreamingFeatures reports whether the classifier supports
+// vector prediction over featLen incremental features: the model must
+// have representative patterns (a pattern-free fallback model
+// classifies with whole-series 1NN, which cannot be maintained
+// incrementally), must not use the rotation-invariant transform (the
+// rotated view needs the complete series), and featLen must equal
+// NumPatterns. Returns nil or a typed *Error matching ErrBadInput. The
+// streaming layer calls this once per stream creation and then uses
+// PredictVector per sample without further checks.
+func (c *Classifier) ValidateStreamingFeatures(featLen int) error {
+	const op = "PredictVector"
+	if c.inner.NumPatterns() == 0 {
+		return apiErrf(op, ErrBadInput, "model has no representative patterns (1NN fallback models cannot stream)")
+	}
+	if c.inner.Options().RotationInvariant {
+		return apiErrf(op, ErrBadInput, "rotation-invariant models cannot stream (the rotated view needs the whole series)")
+	}
+	if featLen != c.inner.NumPatterns() {
+		return apiErrf(op, ErrBadInput, "feature vector has %d entries, model expects %d", featLen, c.inner.NumPatterns())
+	}
+	return nil
+}
+
 // SetWorkers re-bounds the concurrency of batch prediction
 // (PredictBatch / PredictBatchContext) after training or LoadClassifier:
 // 0 means every core, 1 forces the exact sequential path, any other
