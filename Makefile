@@ -3,6 +3,11 @@
 
 GO ?= go
 
+# Scratch artifacts (coverage profile, bench-gate JSON) land here, not
+# in the worktree root. The whole directory is git-ignored; CI uploads
+# it as the run's artifact bundle.
+OUT_DIR ?= out
+
 # Seconds of fuzzing per target in `make fuzz`.
 FUZZTIME ?= 10s
 
@@ -20,7 +25,7 @@ FUZZTIME ?= 10s
 BENCH_GATE_RE ?= ^Benchmark(RPMTrainFixed|RPMPredict|TransformParallel|TransformInto|PredictBatchParallel|ServePredict|BatcherFlush|NNEDParallel|NNDTWParallel|MatcherBestShort|StreamAppend)$$
 BENCH_GATE_PKGS ?= . ./internal/core ./internal/nn ./internal/dist ./internal/serve ./internal/stream
 BENCH_BASELINE = BENCH_PR8.json
-BENCH_CURRENT = BENCH_PR8.tmp.json
+BENCH_CURRENT = $(OUT_DIR)/BENCH_PR8.tmp.json
 MAX_REGRESS ?= 25
 BENCH_GATE_RUN = $(GO) test -run xxx -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 100ms -count 3 $(BENCH_GATE_PKGS)
 
@@ -34,6 +39,7 @@ COVER_FLOOR = 88.0
 # selection, instrumentation, the parallel substrate, and the serving
 # layer).
 COVER_PKGS = . \
+	./internal/experiments/archive \
 	./internal/serve \
 	./internal/serve/client \
 	./internal/faults \
@@ -52,7 +58,8 @@ COVER_PKGS = . \
 	./internal/obs
 
 .PHONY: all build test race vet lint bench fuzz cover check \
-	bench-json bench-gate bench-baseline load-smoke stream-smoke chaos
+	bench-json bench-gate bench-baseline load-smoke stream-smoke chaos \
+	archive-smoke
 
 all: check
 
@@ -99,9 +106,10 @@ fuzz:
 # `go tool cover -func` prints a trailing "total:" line; awk compares it
 # to the floor and fails the target when coverage regresses.
 cover:
-	$(GO) test -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS)
-	@$(GO) tool cover -func=coverage.out | tail -n 1
-	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+	@mkdir -p $(OUT_DIR)
+	$(GO) test -coverprofile=$(OUT_DIR)/coverage.out -covermode=atomic $(COVER_PKGS)
+	@$(GO) tool cover -func=$(OUT_DIR)/coverage.out | tail -n 1
+	@$(GO) tool cover -func=$(OUT_DIR)/coverage.out | awk -v floor=$(COVER_FLOOR) \
 		'/^total:/ { got = $$3 + 0; if (got < floor) { \
 			printf "coverage %.1f%% below floor %.1f%%\n", got, floor; exit 1 } \
 		else printf "coverage %.1f%% >= floor %.1f%%\n", got, floor }'
@@ -109,6 +117,7 @@ cover:
 # Run the gated benchmarks and write the machine-readable results to
 # $(BENCH_CURRENT) (git-ignored).
 bench-json:
+	@mkdir -p $(OUT_DIR)
 	$(BENCH_GATE_RUN) | $(GO) run ./cmd/benchjson -o $(BENCH_CURRENT)
 
 # Fail when any gated benchmark regressed ns/op by more than
@@ -146,4 +155,12 @@ chaos:
 	$(GO) test -run 'TestChaos' -count 1 ./internal/serve
 	./scripts/chaos_smoke.sh $(CHAOS_SMOKE_DURATION)
 
-check: build vet lint test race cover fuzz load-smoke stream-smoke
+# Archive smoke (DESIGN.md §15): crash-resume proof for cmd/rpmarchive.
+# Trains a 3-dataset synthetic mini-archive, SIGKILLs the run after its
+# first checkpoint lands, resumes, and requires the deterministic JSON
+# table to be byte-identical to an uninterrupted run at a different
+# worker count.
+archive-smoke:
+	./scripts/archive_smoke.sh
+
+check: build vet lint test race cover fuzz load-smoke stream-smoke archive-smoke

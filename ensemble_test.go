@@ -1,0 +1,132 @@
+package rpm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// ensembleOpts is the shared small-budget bagged configuration of the
+// public ensemble tests.
+func ensembleOpts() Options {
+	o := DefaultOptions()
+	o.Splits = 2
+	o.MaxEvals = 8
+	o.Sample = SampleOptions{Rate: 0.3, Seed: 7}
+	o.Bags = 3
+	return o
+}
+
+// TestEnsembleEndToEnd trains a 3-bag sampled ensemble through the
+// public API and checks the vote classifies the synthetic test split
+// about as well as a single exhaustive model would.
+func TestEnsembleEndToEnd(t *testing.T) {
+	split := GenerateDataset("SynItalyPower", 3)
+	e, err := TrainEnsemble(split.Train, ensembleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bags() != 3 {
+		t.Fatalf("Bags() = %d, want 3", e.Bags())
+	}
+	if e.NumPatterns() <= 0 {
+		t.Fatal("ensemble mined no patterns")
+	}
+	preds := e.PredictBatch(split.Test)
+	if len(preds) != len(split.Test) {
+		t.Fatalf("got %d predictions for %d instances", len(preds), len(split.Test))
+	}
+	wrong := 0
+	for i, p := range preds {
+		if p != split.Test[i].Label {
+			wrong++
+		}
+		if p != e.Predict(split.Test[i].Values) {
+			t.Fatalf("PredictBatch[%d] disagrees with Predict", i)
+		}
+	}
+	if errRate := float64(wrong) / float64(len(preds)); errRate > 0.2 {
+		t.Errorf("bagged ensemble error = %v on SynItalyPower", errRate)
+	}
+	got, err := e.PredictBatchContext(context.Background(), split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, preds) {
+		t.Fatal("PredictBatchContext disagrees with PredictBatch")
+	}
+	e.SetWorkers(2)
+	if !reflect.DeepEqual(e.PredictBatch(split.Test), preds) {
+		t.Fatal("predictions changed after SetWorkers")
+	}
+}
+
+// TestEnsembleValidation pins the ensemble-specific option rules at the
+// public boundary: Sample.Rate outside [0,1], negative Bags, and
+// Bags > 1 without an active sampling rate are all ErrBadInput.
+func TestEnsembleValidation(t *testing.T) {
+	split := GenerateDataset("SynItalyPower", 3)
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"rate below zero", func(o *Options) { o.Sample.Rate = -0.1 }},
+		{"rate above one", func(o *Options) { o.Sample.Rate = 1.5 }},
+		{"negative bags", func(o *Options) { o.Bags = -1 }},
+		{"bags without sampling", func(o *Options) { o.Bags = 3; o.Sample.Rate = 0 }},
+		{"bags with exhaustive rate", func(o *Options) { o.Bags = 3; o.Sample.Rate = 1 }},
+	}
+	for _, tc := range cases {
+		o := ensembleOpts()
+		tc.mutate(&o)
+		if _, err := TrainEnsemble(split.Train, o); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", tc.name, err)
+		}
+		// Train applies the same validation: the knobs are rejected even
+		// when the caller never goes through the ensemble entry point.
+		if _, err := Train(split.Train, o); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s via Train: err = %v, want ErrBadInput", tc.name, err)
+		}
+	}
+	// Bags with sampling but through the single-model path is fine: Train
+	// ignores Bags rather than erroring, per the Options doc.
+	o := ensembleOpts()
+	if _, err := Train(split.Train, o); err != nil {
+		t.Errorf("Train with valid ensemble options: %v", err)
+	}
+}
+
+// TestEnsembleContextAndReport covers cancellation and instrumentation
+// through the public surface.
+func TestEnsembleContextAndReport(t *testing.T) {
+	split := GenerateDataset("SynItalyPower", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainEnsembleContext(ctx, split.Train, ensembleOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled training err = %v, want context.Canceled", err)
+	}
+
+	o := ensembleOpts()
+	o.Instrument = true
+	e, err := TrainEnsemble(split.Train, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.TrainReport()
+	if r == nil {
+		t.Fatal("nil TrainReport with Instrument set")
+	}
+	if r.Counters["train.bags.members"] != 3 {
+		t.Fatalf("train.bags.members = %d, want 3", r.Counters["train.bags.members"])
+	}
+
+	// Boundary validation on batch prediction: a non-finite query fails
+	// typed instead of poisoning the batch.
+	bad := split.Test[:1]
+	bad[0].Values = []float64{1, 2, math.NaN()}
+	if _, err := e.PredictBatchContext(context.Background(), bad); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("non-finite query err = %v, want ErrBadInput", err)
+	}
+}

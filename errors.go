@@ -219,6 +219,15 @@ func validateOptions(op string, o Options, minLen int) error {
 	default:
 		return apiErrf(op, ErrBadInput, "unknown GIAlgorithm %d", int(o.GI))
 	}
+	if o.Sample.Rate < 0 || o.Sample.Rate > 1 {
+		return apiErrf(op, ErrBadInput, "Sample.Rate %v outside [0,1] (0 and 1 mean exhaustive)", o.Sample.Rate)
+	}
+	if o.Bags < 0 {
+		return apiErrf(op, ErrBadInput, "Bags %d negative", o.Bags)
+	}
+	if o.Bags > 1 && !(o.Sample.Rate > 0 && o.Sample.Rate < 1) {
+		return apiErrf(op, ErrBadInput, "Bags %d requires Sample.Rate in (0,1): with exhaustive mining every member is identical", o.Bags)
+	}
 	if o.Mode == ParamFixed && o.Params != (SAXParams{}) {
 		p := sax.Params{Window: o.Params.Window, PAA: o.Params.PAA, Alphabet: o.Params.Alphabet}
 		if err := p.Validate(minLen); err != nil {

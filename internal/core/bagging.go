@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"rpm/internal/obs"
+	"rpm/internal/parallel"
+	"rpm/internal/sax"
+	"rpm/internal/ts"
+)
+
+// Ensemble is a bagged set of RPM classifiers (ROADMAP item 4, after
+// Raza & Kramer's randomized shapelet ensembles): every member mines
+// its own seeded subset of the candidate pool (Options.Sample with a
+// per-member derived seed) over the same training data and parameters,
+// and the ensemble classifies by majority vote over the members'
+// labels, ties breaking toward the smaller label. Member order is
+// fixed at training time, so the vote — and hence every prediction —
+// is deterministic for any Options.Workers value.
+type Ensemble struct {
+	// Members are the bagged classifiers, in training order. They share
+	// per-class SAX parameters (the search runs once) but differ in
+	// their sampled candidate pools.
+	Members []*Classifier
+	opts    Options
+}
+
+// TrainBagged learns a bagged RPM ensemble; see TrainBaggedContext.
+func TrainBagged(train ts.Dataset, opts Options) (*Ensemble, error) {
+	return TrainBaggedContext(context.Background(), train, opts)
+}
+
+// TrainBaggedContext learns an Options.Bags-member bagged ensemble:
+// one shared parameter search (sampled like everything else when
+// Options.Sample is active), then one sampled mining pass per member
+// with the member's derived sampling seed. Members train sequentially
+// — each member's internal stages already fan out over
+// Options.Workers — so the ensemble is byte-identical for any worker
+// count. Bags ≤ 1 degenerates to a single-member ensemble around
+// TrainContext. Canceling ctx aborts between (and inside) member
+// trainings with ctx.Err().
+func TrainBaggedContext(ctx context.Context, train ts.Dataset, opts Options) (*Ensemble, error) {
+	if opts.Bags <= 1 {
+		c, err := TrainContext(ctx, train, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Ensemble{Members: []*Classifier{c}, opts: c.opts}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if opts.Gamma <= 0 || opts.Gamma > 1 {
+		return nil, fmt.Errorf("core: gamma %v outside (0,1]", opts.Gamma)
+	}
+	if opts.Splits <= 0 {
+		opts.Splits = 5
+	}
+	if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
+		opts.TrainFrac = 0.7
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 60
+	}
+	opts.span = opts.Obs.StartSpan(SpanTrain)
+	defer opts.span.End()
+	opts.Obs.Gauge(GaugeWorkers).Set(int64(parallel.Workers(opts.Workers)))
+	opts.Obs.Counter(CtrBagMembers).Add(int64(opts.Bags))
+	classes := train.Classes()
+	perClass, err := chooseParams(ctx, train, classes, opts)
+	if err != nil {
+		return nil, err
+	}
+	baseSeed := resolveSampleSeed(opts)
+	members := make([]*Classifier, 0, opts.Bags)
+	for b := 0; b < opts.Bags; b++ {
+		mopts := opts
+		mopts.Sample.Seed = memberSampleSeed(baseSeed, b)
+		mopts.span = opts.span.Start(fmt.Sprintf("%s%d", SpanBagMember, b))
+		m, err := trainBagMember(ctx, train, classes, perClass, mopts)
+		mopts.span.End()
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return &Ensemble{Members: members, opts: opts}, nil
+}
+
+// trainBagMember trains one member on the shared parameters, with the
+// same retry-on-empty semantics TrainContext applies to a single model:
+// searched parameters that fail to generalize fall back to the
+// heuristic defaults before accepting a pattern-free 1NN member.
+func trainBagMember(ctx context.Context, train ts.Dataset, classes []int, perClass map[int]sax.Params, opts Options) (*Classifier, error) {
+	c, err := trainWithParams(ctx, train, cloneParams(perClass), opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Patterns) == 0 && opts.Mode != ParamFixed {
+		retry := map[int]sax.Params{}
+		for _, cl := range classes {
+			retry[cl] = HeuristicParams(train.MinLen())
+		}
+		c2, err := trainWithParams(ctx, train, retry, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(c2.Patterns) > 0 {
+			return c2, nil
+		}
+	}
+	return c, nil
+}
+
+// cloneParams copies the shared per-class parameter map so each
+// member's trainWithParams (which fills missing classes in place)
+// cannot alias another member's view.
+func cloneParams(perClass map[int]sax.Params) map[int]sax.Params {
+	out := make(map[int]sax.Params, len(perClass))
+	for c, p := range perClass {
+		out[c] = p
+	}
+	return out
+}
+
+// memberSampleSeed derives member b's sampling seed from the resolved
+// base seed. Member 0 keeps the base seed, so a 1-bag ensemble mines
+// exactly the model TrainContext would; later members get independent
+// mixed seeds (never 0 — 0 means "derive" to resolveSampleSeed).
+func memberSampleSeed(base int64, b int) int64 {
+	if b == 0 {
+		return base
+	}
+	s := int64(splitmix64(uint64(base) ^ splitmix64(uint64(b))))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Options returns the options the ensemble was trained with.
+func (e *Ensemble) Options() Options { return e.opts }
+
+// Bags returns the number of members.
+func (e *Ensemble) Bags() int { return len(e.Members) }
+
+// NumPatterns returns the total representative-pattern count across
+// members (the summed feature dimensionality, a cost proxy).
+func (e *Ensemble) NumPatterns() int {
+	n := 0
+	for _, m := range e.Members {
+		n += m.NumPatterns()
+	}
+	return n
+}
+
+// SetWorkers re-bounds the concurrency of the ensemble's batch
+// prediction and of every member. Not safe to call concurrently with
+// prediction.
+func (e *Ensemble) SetWorkers(n int) {
+	e.opts.Workers = n
+	for _, m := range e.Members {
+		m.SetWorkers(n)
+	}
+}
+
+// TrainSnapshot returns the shared instrumentation snapshot of the
+// bagged training run (all members record into the same registry), or
+// nil when the ensemble trained without Options.Obs.
+func (e *Ensemble) TrainSnapshot() *obs.Snapshot { return e.opts.Obs.Snapshot() }
+
+// Predict classifies one series by majority vote over the members.
+// Like Classifier.Predict it is total over its input.
+func (e *Ensemble) Predict(v []float64) int {
+	labels := make([]int, len(e.Members))
+	for i, m := range e.Members {
+		labels[i] = m.Predict(v)
+	}
+	return majorityLabel(labels)
+}
+
+// PredictBatch classifies every instance, fanning the queries out over
+// Options.Workers goroutines. Each query votes across all members in
+// member order, so the labels are byte-identical to the sequential
+// path.
+func (e *Ensemble) PredictBatch(test ts.Dataset) []int {
+	e.ensureTransformers()
+	out := make([]int, len(test))
+	parallel.ForPool(len(test), e.opts.Workers, e.opts.Obs.Pool(PoolPredict), func(i int) {
+		out[i] = e.Predict(test[i].Values)
+	})
+	return out
+}
+
+// PredictBatchContext is PredictBatch with cooperative cancellation
+// (the PredictBatchContext contract of Classifier, lifted to the
+// ensemble).
+func (e *Ensemble) PredictBatchContext(ctx context.Context, test ts.Dataset) ([]int, error) {
+	e.ensureTransformers()
+	out := make([]int, len(test))
+	if err := parallel.ForCtxPool(ctx, len(test), e.opts.Workers, e.opts.Obs.Pool(PoolPredict), func(i int) {
+		out[i] = e.Predict(test[i].Values)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ensureTransformers builds every member's transformer outside the
+// prediction fan-out (the same build-once-then-share discipline as
+// Classifier.PredictBatch).
+func (e *Ensemble) ensureTransformers() {
+	for _, m := range e.Members {
+		if len(m.Patterns) > 0 {
+			m.ensureTransformer()
+		}
+	}
+}
+
+// majorityLabel returns the most frequent label; ties break toward the
+// smaller label. The incremental argmax never ranges over the count
+// map, so the result depends only on the label multiset, not on map
+// iteration order.
+func majorityLabel(labels []int) int {
+	counts := map[int]int{}
+	best, bestN := 0, -1
+	for _, l := range labels {
+		counts[l]++
+		n := counts[l]
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}

@@ -60,11 +60,36 @@ func findMotifGroups(classTrain ts.Dataset, class int, p sax.Params, opts Option
 	// Step 1 (§3.2.1): discretization time accumulates into the aggregate
 	// step1 span — per-class contributions sum atomically, so under
 	// Workers > 1 the span's busy total can exceed the candidates wall.
-	t0 := time.Now()
-	words := sax.Discretize(concat.Values, p, opts.NumerosityReduction, func(start int) bool {
+	// Under Options.Sample, whole window-length blocks of start
+	// positions are skipped by the seeded per-class sampler — a pure
+	// (seed, position) decision, so the surviving word sequence is
+	// identical for any worker count (DESIGN.md §15).
+	skip := func(start int) bool {
 		return concat.SpansJunction(start, p.Window)
-	})
+	}
+	var sampleKept, sampleDropped int64
+	if opts.Sample.active() {
+		ws := newWindowSampler(resolveSampleSeed(opts), class, p.Window, opts.Sample.Rate)
+		junction := skip
+		skip = func(start int) bool {
+			if junction(start) {
+				return true
+			}
+			if !ws.keep(start) {
+				sampleDropped++
+				return true
+			}
+			sampleKept++
+			return false
+		}
+	}
+	t0 := time.Now()
+	words := sax.Discretize(concat.Values, p, opts.NumerosityReduction, skip)
 	opts.spanStep1.Add(time.Since(t0))
+	if opts.Sample.active() && opts.Obs != nil {
+		opts.Obs.Counter(CtrSampleWindowsKept).Add(sampleKept)
+		opts.Obs.Counter(CtrSampleWindowsDropped).Add(sampleDropped)
+	}
 	if len(words) < 2 {
 		return nil
 	}
@@ -87,6 +112,12 @@ func findMotifGroups(classTrain ts.Dataset, class int, p sax.Params, opts Option
 	minSupport := int(opts.Gamma * float64(len(classTrain)))
 	if minSupport < 2 {
 		minSupport = 2
+	}
+	if opts.Sample.active() {
+		// Block sampling keeps ~Rate of each motif's occurrences, so
+		// the γ support floor shrinks proportionally (its relative
+		// meaning is preserved; the absolute floor of 2 still holds).
+		minSupport = sampledMinSupport(minSupport, opts.Sample.Rate)
 	}
 	var out []motifGroup
 	for _, rule := range rules {

@@ -113,6 +113,18 @@ type Options struct {
 	// MaxEvals caps objective evaluations per class for ParamDIRECT and
 	// the total grid size for ParamGrid (default 60).
 	MaxEvals int
+	// Sample configures seeded subsampling of the candidate-mining work
+	// (Step-1 sliding-window blocks, parameter-search grid points /
+	// DIRECT evaluations). The zero value is exhaustive mining — the
+	// path bit-identical to builds before sampling existed. See
+	// DESIGN.md §15.
+	Sample SampleOptions
+	// Bags is the bagged-ensemble width used by TrainBaggedContext:
+	// each member mines its own Sample-seeded candidate subset and the
+	// ensemble classifies by majority vote (ties break toward the
+	// smaller label). Ignored by TrainContext; 0 and 1 both mean a
+	// single model.
+	Bags int
 	// SVM configures the classifier fitted on the transformed space.
 	SVM svm.Config
 	// VectorClassifier, when non-nil, replaces the built-in linear SVM:

@@ -38,6 +38,10 @@ const (
 	SpanStep2       = "step2_grammar_cluster"
 	SpanStep3       = "step3_select"
 	SpanFit         = "fit"
+	// SpanBagMember + member index is one bagged member's training
+	// (TrainBaggedContext); the shared parameter search sits beside
+	// the member spans under SpanTrain.
+	SpanBagMember = "bag.member."
 
 	CtrCandidates      = "train.candidates"
 	CtrCandidatesClass = "train.candidates.class." // + class label
@@ -50,6 +54,17 @@ const (
 	CtrSearchCacheMiss = "search.cache.misses"
 	CtrCFSExpansions   = "train.cfs.expansions"
 	CtrCFSSelected     = "train.cfs.selected"
+
+	// Sampled-training counters (DESIGN.md §15): sliding-window blocks
+	// kept/skipped by the Step-1 sampler, search grid points surviving
+	// the seeded thinning, and the number of bagged members trained.
+	// Recorded only when Options.Sample is active (resp. Bags > 1); an
+	// exhaustive run never touches them.
+	CtrSampleWindowsKept    = "train.sample.windows.kept"
+	CtrSampleWindowsDropped = "train.sample.windows.dropped"
+	CtrSampleGridKept       = "search.sample.grid.kept"
+	CtrSampleGridDropped    = "search.sample.grid.dropped"
+	CtrBagMembers           = "train.bags.members"
 
 	GaugeWorkers = "workers"
 

@@ -205,6 +205,16 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 		// them): score them concurrently, then apply consider in grid
 		// order so ties resolve exactly as in the sequential loop.
 		grid := paramGrid(m, opts.MaxEvals)
+		if opts.Sample.active() {
+			// Seeded grid thinning (DESIGN.md §15): a hash-ranked
+			// subsequence of the exhaustive grid, so the consider()
+			// tie-break below sees the surviving points in their
+			// original order.
+			kept, dropped := sampleGrid(grid, resolveSampleSeed(opts), opts.Sample.Rate)
+			grid = kept
+			opts.Obs.Counter(CtrSampleGridKept).Add(int64(len(kept)))
+			opts.Obs.Counter(CtrSampleGridDropped).Add(int64(dropped))
+		}
 		gridSpan := opts.span.Start("grid")
 		scores, err := parallel.MapCtxPool(ctx, len(grid), opts.Workers, opts.Obs.Pool(PoolSearchGrid), func(i int) map[int]float64 {
 			fs, _ := e.fmeasures(ctx, grid[i]) // nil on cancel; MapCtx reports it
@@ -221,6 +231,13 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 		wLo, wHi, paaLo, paaHi, aLo, aHi := paramBounds(m)
 		lo := []float64{float64(wLo), float64(paaLo), float64(aLo)}
 		hi := []float64{float64(wHi), float64(paaHi), float64(aHi)}
+		maxEvals := opts.MaxEvals
+		if opts.Sample.active() {
+			// DIRECT's analogue of grid thinning: scale the per-class
+			// evaluation budget by the sampling rate (floor 8 so the
+			// optimizer can still subdivide the box).
+			maxEvals = sampledMaxEvals(maxEvals, opts.Sample.Rate)
+		}
 		for _, c := range e.classes {
 			class := c
 			classSpan := opts.span.Start(fmt.Sprintf("direct.class.%d", class))
@@ -235,7 +252,7 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 				}
 				consider(p, fs)
 				return 1 - fs[class]
-			}, lo, hi, direct.Options{MaxEvals: opts.MaxEvals})
+			}, lo, hi, direct.Options{MaxEvals: maxEvals})
 			classSpan.End()
 			if err := ctx.Err(); err != nil {
 				return nil, err

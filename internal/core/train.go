@@ -50,28 +50,9 @@ func TrainContext(ctx context.Context, train ts.Dataset, opts Options) (*Classif
 	defer opts.span.End()
 	opts.Obs.Gauge(GaugeWorkers).Set(int64(parallel.Workers(opts.Workers)))
 	classes := train.Classes()
-	var perClass map[int]sax.Params
-	switch opts.Mode {
-	case ParamFixed:
-		p := opts.Params
-		if p == (sax.Params{}) {
-			p = HeuristicParams(train.MinLen())
-		}
-		perClass = map[int]sax.Params{}
-		for _, c := range classes {
-			perClass[c] = p
-		}
-	case ParamGrid, ParamDIRECT:
-		searchOpts := opts
-		searchOpts.span = opts.span.Start(SpanParamSearch)
-		var err error
-		perClass, err = selectParams(ctx, train, searchOpts)
-		searchOpts.span.End()
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown parameter mode %v", opts.Mode)
+	perClass, err := chooseParams(ctx, train, classes, opts)
+	if err != nil {
+		return nil, err
 	}
 	c, err := trainWithParams(ctx, train, perClass, opts)
 	if err != nil {
@@ -95,6 +76,37 @@ func TrainContext(ctx context.Context, train ts.Dataset, opts Options) (*Classif
 		}
 	}
 	return c, nil
+}
+
+// chooseParams resolves the per-class SAX parameters for the
+// configured Mode: the fixed triple (or the heuristic default) for
+// ParamFixed, otherwise the grid/DIRECT search of §4 under its own
+// SpanParamSearch span. Shared by TrainContext and TrainBaggedContext —
+// a bagged ensemble searches once and re-mines per member.
+func chooseParams(ctx context.Context, train ts.Dataset, classes []int, opts Options) (map[int]sax.Params, error) {
+	switch opts.Mode {
+	case ParamFixed:
+		p := opts.Params
+		if p == (sax.Params{}) {
+			p = HeuristicParams(train.MinLen())
+		}
+		perClass := map[int]sax.Params{}
+		for _, c := range classes {
+			perClass[c] = p
+		}
+		return perClass, nil
+	case ParamGrid, ParamDIRECT:
+		searchOpts := opts
+		searchOpts.span = opts.span.Start(SpanParamSearch)
+		perClass, err := selectParams(ctx, train, searchOpts)
+		searchOpts.span.End()
+		if err != nil {
+			return nil, err
+		}
+		return perClass, nil
+	default:
+		return nil, fmt.Errorf("core: unknown parameter mode %v", opts.Mode)
+	}
 }
 
 // HeuristicParams returns sensible fixed SAX parameters for series of

@@ -1,0 +1,567 @@
+package archive
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rpm"
+	"rpm/internal/parallel"
+)
+
+// Source yields the datasets of one archive. Implementations must be
+// safe for concurrent Load calls — Run fans datasets out over workers.
+type Source interface {
+	// Names lists every dataset the source can load, in any order; Run
+	// sorts before sharding so the partition is stable.
+	Names() ([]string, error)
+	// Load returns one dataset's train/test split.
+	Load(name string) (rpm.Split, error)
+}
+
+// SyntheticSource serves the repo's synthetic dataset suite
+// (rpm.DatasetNames), generated deterministically from Seed. Subset
+// restricts the suite when non-empty.
+type SyntheticSource struct {
+	Seed   int64
+	Subset []string
+}
+
+// Names lists the served synthetic datasets.
+func (s SyntheticSource) Names() ([]string, error) {
+	if len(s.Subset) > 0 {
+		all := map[string]bool{}
+		for _, n := range rpm.DatasetNames() {
+			all[n] = true
+		}
+		for _, n := range s.Subset {
+			if !all[n] {
+				return nil, archErrf("Names", ErrBadConfig, "unknown synthetic dataset %q", n)
+			}
+		}
+		return append([]string(nil), s.Subset...), nil
+	}
+	return rpm.DatasetNames(), nil
+}
+
+// Load generates one synthetic split from the source seed.
+func (s SyntheticSource) Load(name string) (rpm.Split, error) {
+	names, err := s.Names()
+	if err != nil {
+		return rpm.Split{}, err
+	}
+	for _, n := range names {
+		if n == name {
+			return rpm.GenerateDataset(name, s.Seed), nil
+		}
+	}
+	return rpm.Split{}, archErrf("Load", ErrBadConfig, "unknown synthetic dataset %q", name)
+}
+
+// DirSource serves UCR-layout datasets from a directory: every
+// <name>_TRAIN with a matching <name>_TEST is one dataset.
+type DirSource struct {
+	Dir string
+}
+
+// Names lists the datasets found in the directory.
+func (s DirSource) Names() ([]string, error) {
+	const op = "Names"
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, archErr(op, ErrBadConfig, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_TRAIN") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), "_TRAIN")
+		if _, err := os.Stat(filepath.Join(s.Dir, name+"_TEST")); err != nil {
+			continue // half a split: skip rather than fail the archive
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Load reads one dataset's UCR files.
+func (s DirSource) Load(name string) (rpm.Split, error) {
+	const op = "Load"
+	train, err := s.readUCR(filepath.Join(s.Dir, name+"_TRAIN"))
+	if err != nil {
+		return rpm.Split{}, archErr(op, ErrBadConfig, err)
+	}
+	test, err := s.readUCR(filepath.Join(s.Dir, name+"_TEST"))
+	if err != nil {
+		return rpm.Split{}, archErr(op, ErrBadConfig, err)
+	}
+	return rpm.Split{Name: name, Train: train, Test: test}, nil
+}
+
+// readUCR loads one UCR-format file.
+func (s DirSource) readUCR(path string) (rpm.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rpm.LoadUCR(f)
+}
+
+// Config configures one archive run.
+type Config struct {
+	// OutDir receives the per-dataset checkpoint files. Created if
+	// missing.
+	OutDir string
+	// Source yields the datasets.
+	Source Source
+	// Datasets optionally restricts the run to these names (before
+	// sharding).
+	Datasets []string
+	// Shard / Shards partition the sorted dataset list across
+	// cooperating runs: this run takes every name whose index ≡ Shard
+	// (mod Shards). Shards 0 means a single shard.
+	Shard, Shards int
+	// Seed seeds synthetic data generation and defaults Options.Seed.
+	Seed int64
+	// Workers bounds the dataset-level fan-out (0 = GOMAXPROCS). Worker
+	// count never changes any outcome, only wall-clock time.
+	Workers int
+	// Timeout bounds each dataset's train+evaluate wall time; 0 means
+	// unbounded. A dataset that exceeds it is recorded as status
+	// "timeout" and the run continues.
+	Timeout time.Duration
+	// Resume skips datasets with a valid checkpoint from an identical
+	// configuration instead of retraining them.
+	Resume bool
+	// Strict turns per-dataset failures (and corrupt checkpoints) into
+	// a Run error instead of error rows in the table.
+	Strict bool
+	// Options is the training configuration. Options.Bags > 1 trains a
+	// bagged ensemble per dataset; Workers and Instrument are managed by
+	// the runner and excluded from the checkpoint config hash.
+	Options rpm.Options
+}
+
+// Outcome is one dataset's row: identity, status, correctness, cost,
+// and the worker-independent pipeline counters. Wall times are real
+// milliseconds and therefore vary run to run; every other field is a
+// pure function of (config, dataset), which is what makes the
+// deterministic table projection byte-comparable across runs.
+type Outcome struct {
+	Dataset string `json:"dataset"`
+	// Status is "ok", "error", or "timeout".
+	Status string `json:"status"`
+	// ErrKind is the taxonomy bucket of a failure ("bad_input",
+	// "too_short", "timeout", ...), empty on success.
+	ErrKind string `json:"errKind,omitempty"`
+	ErrMsg  string `json:"errMsg,omitempty"`
+
+	TrainSize int `json:"trainSize,omitempty"`
+	TestSize  int `json:"testSize,omitempty"`
+	Bags      int `json:"bags,omitempty"`
+	Patterns  int `json:"patterns,omitempty"`
+	// Accuracy is the fraction of test instances classified correctly.
+	Accuracy float64 `json:"accuracy"`
+
+	TrainMillis   int64 `json:"trainMillis"`
+	PredictMillis int64 `json:"predictMillis"`
+
+	// Counters carries the worker-independent per-stage observability
+	// counters (candidates, γ/τ pruning, CFS selection, sampling);
+	// timing-dependent counters like the search cache's hit/miss split
+	// are deliberately excluded.
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// Resumed marks rows served from a checkpoint. In-memory only: it
+	// must not reach the checkpoint or the deterministic table, where
+	// interrupted and uninterrupted runs have to agree byte for byte.
+	Resumed bool `json:"-"`
+}
+
+// tableCounters is the allowlist of counters copied into each Outcome:
+// all are pure functions of (config, dataset) — byte-identical at any
+// worker count — unlike e.g. search.cache.hits/misses, whose split
+// depends on evaluation interleaving.
+var tableCounters = []string{
+	"train.candidates",
+	"train.clusters.kept",
+	"train.clusters.dropped",
+	"train.prune.tau.kept",
+	"train.prune.tau.dropped",
+	"train.cfs.selected",
+	"train.sample.windows.kept",
+	"train.sample.windows.dropped",
+	"search.sample.grid.kept",
+	"search.sample.grid.dropped",
+	"train.bags.members",
+}
+
+// Result is one archive run's output: the configuration fingerprint
+// and one Outcome per dataset of this shard, in sorted dataset order.
+type Result struct {
+	ConfigHash string    `json:"configHash"`
+	Shard      int       `json:"shard"`
+	Shards     int       `json:"shards"`
+	Outcomes   []Outcome `json:"outcomes"`
+	// Resumed counts rows served from checkpoints; excluded from the
+	// deterministic projection (an uninterrupted run has 0).
+	Resumed int `json:"resumed,omitempty"`
+}
+
+// Run executes the archive: it trains and evaluates every dataset of
+// the configured shard, checkpointing each as it finishes, and returns
+// the collected table. Per-dataset failures become error rows (strict
+// mode excepted); Run itself fails only on bad configuration, an
+// unusable source, or context cancellation.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	const op = "Run"
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, archErr(op, ErrBadConfig, err)
+	}
+	names, err := cfg.shardNames()
+	if err != nil {
+		return nil, err
+	}
+	hash := cfg.hash()
+	outcomes, err := runShard(ctx, cfg, names, hash)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ConfigHash: hash, Shard: cfg.Shard, Shards: max(1, cfg.Shards), Outcomes: outcomes}
+	for _, oc := range outcomes {
+		if oc.Resumed {
+			res.Resumed++
+		}
+	}
+	if cfg.Strict {
+		for _, oc := range outcomes {
+			if oc.Status != "ok" {
+				return nil, archErrf(op, ErrRunFailed, "dataset %s: %s: %s", oc.Dataset, oc.Status, oc.ErrMsg)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runShard fans the shard's datasets out over the configured workers.
+// Dataset-level concurrency is safe because every outcome is a pure
+// function of (config, dataset) and checkpoints are per-dataset files.
+func runShard(ctx context.Context, cfg Config, names []string, hash string) ([]Outcome, error) {
+	outcomes, err := parallel.MapCtx(ctx, len(names), cfg.Workers, func(i int) Outcome {
+		return cfg.runDataset(ctx, names[i], hash)
+	})
+	if err != nil {
+		return nil, err // context error: surface unwrapped
+	}
+	return outcomes, nil
+}
+
+// validate rejects unusable configurations up front.
+func (cfg Config) validate() error {
+	const op = "Run"
+	if cfg.OutDir == "" {
+		return archErrf(op, ErrBadConfig, "OutDir is required")
+	}
+	if cfg.Source == nil {
+		return archErrf(op, ErrBadConfig, "Source is required")
+	}
+	if cfg.Shards < 0 || cfg.Shard < 0 {
+		return archErrf(op, ErrBadConfig, "negative shard index %d/%d", cfg.Shard, cfg.Shards)
+	}
+	if cfg.Shards > 0 && cfg.Shard >= cfg.Shards {
+		return archErrf(op, ErrBadConfig, "shard %d out of range for %d shards", cfg.Shard, cfg.Shards)
+	}
+	if cfg.Timeout < 0 {
+		return archErrf(op, ErrBadConfig, "negative timeout %v", cfg.Timeout)
+	}
+	return nil
+}
+
+// shardNames resolves, filters, sorts, and shards the dataset list.
+// Sorting before sharding makes the partition a pure function of
+// (name set, Shard, Shards), independent of source enumeration order.
+func (cfg Config) shardNames() ([]string, error) {
+	const op = "Run"
+	names, err := cfg.Source.Names()
+	if err != nil {
+		return nil, wrapSourceErr(op, err)
+	}
+	if len(cfg.Datasets) > 0 {
+		have := map[string]bool{}
+		for _, n := range names {
+			have[n] = true
+		}
+		names = names[:0:0]
+		for _, n := range cfg.Datasets {
+			if !have[n] {
+				return nil, archErrf(op, ErrBadConfig, "dataset %q not served by the source", n)
+			}
+			names = append(names, n)
+		}
+	}
+	for _, n := range names {
+		if n == "" || n == "." || n == ".." || strings.ContainsAny(n, `/\`) {
+			return nil, archErrf(op, ErrBadConfig, "dataset name %q is not filesystem-safe", n)
+		}
+	}
+	sort.Strings(names)
+	if cfg.Shards > 1 {
+		sharded := names[:0:0]
+		for i, n := range names {
+			if i%cfg.Shards == cfg.Shard {
+				sharded = append(sharded, n)
+			}
+		}
+		names = sharded
+	}
+	return names, nil
+}
+
+// wrapSourceErr passes already-typed source errors through and wraps
+// foreign ones.
+func wrapSourceErr(op string, err error) error {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return err
+	}
+	return archErr(op, ErrBadConfig, err)
+}
+
+// hash fingerprints every result-affecting knob: the run seed and the
+// training options minus Workers and Instrument, which change only
+// wall-clock time and observability, never an outcome. Two runs with
+// equal hashes produce interchangeable checkpoints.
+func (cfg Config) hash() string {
+	key := struct {
+		Version int         `json:"version"`
+		Seed    int64       `json:"seed"`
+		Options rpm.Options `json:"options"`
+	}{Version: checkpointVersion, Seed: cfg.Seed, Options: cfg.Options}
+	key.Options.Workers = 0
+	key.Options.Instrument = false
+	blob, err := json.Marshal(key)
+	if err != nil {
+		// rpm.Options is a plain struct of scalar fields; Marshal cannot
+		// fail on it. Guard anyway so a future field breaks loudly.
+		panic(fmt.Sprintf("archive: hashing config: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+// runDataset produces one dataset's outcome, serving it from a valid
+// checkpoint when resuming and checkpointing it after computing. A
+// corrupt or mismatched checkpoint is recomputed and overwritten
+// (strict mode instead reports it as an error row).
+func (cfg Config) runDataset(ctx context.Context, name, hash string) Outcome {
+	if cfg.Resume {
+		oc, err := readCheckpoint(cfg.OutDir, name, hash)
+		switch {
+		case err == nil:
+			oc.Resumed = true
+			return oc
+		case errors.Is(err, fs.ErrNotExist):
+			// No checkpoint yet: compute below.
+		case cfg.Strict:
+			return Outcome{Dataset: name, Status: "error", ErrKind: kindOf(err), ErrMsg: err.Error()}
+		}
+	}
+	oc := cfg.evaluate(ctx, name)
+	if ctx.Err() != nil {
+		// Run is being canceled: don't persist a row that reflects an
+		// aborted training as if it were the dataset's true outcome.
+		return oc
+	}
+	if err := writeCheckpoint(cfg.OutDir, hash, oc); err != nil {
+		oc.Status = "error"
+		oc.ErrKind = "io"
+		oc.ErrMsg = err.Error()
+	}
+	return oc
+}
+
+// evaluate trains on one dataset and scores the test split.
+func (cfg Config) evaluate(ctx context.Context, name string) Outcome {
+	oc := Outcome{Dataset: name, Status: "ok"}
+	split, err := cfg.Source.Load(name)
+	if err != nil {
+		return failed(oc, err)
+	}
+	oc.TrainSize, oc.TestSize = len(split.Train), len(split.Test)
+
+	opts := cfg.Options
+	opts.Instrument = true
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	tctx := ctx
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+
+	preds, patterns, bags, report, trainTime, predictTime, err := trainEval(tctx, split, opts)
+	if err != nil {
+		return failed(oc, err)
+	}
+	oc.Bags, oc.Patterns = bags, patterns
+	oc.TrainMillis = trainTime.Milliseconds()
+	oc.PredictMillis = predictTime.Milliseconds()
+	correct := 0
+	for i, p := range preds {
+		if p == split.Test[i].Label {
+			correct++
+		}
+	}
+	if len(preds) > 0 {
+		oc.Accuracy = float64(correct) / float64(len(preds))
+	}
+	if report != nil {
+		counters := map[string]int64{}
+		for _, name := range tableCounters {
+			if v := report.Counters[name]; v != 0 {
+				counters[name] = v
+			}
+		}
+		if len(counters) > 0 {
+			oc.Counters = counters
+		}
+	}
+	return oc
+}
+
+// trainEval trains a single model or a bagged ensemble (Options.Bags)
+// and predicts the test split, timing both phases.
+func trainEval(ctx context.Context, split rpm.Split, opts rpm.Options) (preds []int, patterns, bags int, report *rpm.TrainReport, trainTime, predictTime time.Duration, err error) {
+	if opts.Bags > 1 {
+		t0 := time.Now()
+		e, terr := rpm.TrainEnsembleContext(ctx, split.Train, opts)
+		trainTime = time.Since(t0)
+		if terr != nil {
+			return nil, 0, 0, nil, trainTime, 0, terr
+		}
+		t1 := time.Now()
+		preds, err = e.PredictBatchContext(ctx, split.Test)
+		predictTime = time.Since(t1)
+		return preds, e.NumPatterns(), e.Bags(), e.TrainReport(), trainTime, predictTime, err
+	}
+	t0 := time.Now()
+	c, terr := rpm.TrainContext(ctx, split.Train, opts)
+	trainTime = time.Since(t0)
+	if terr != nil {
+		return nil, 0, 0, nil, trainTime, 0, terr
+	}
+	t1 := time.Now()
+	preds, err = c.PredictBatchContext(ctx, split.Test)
+	predictTime = time.Since(t1)
+	return preds, len(c.Patterns()), 1, c.TrainReport(), trainTime, predictTime, err
+}
+
+// failed fills the error fields of an outcome.
+func failed(oc Outcome, err error) Outcome {
+	oc.Status = "error"
+	oc.ErrKind = kindOf(err)
+	if oc.ErrKind == "timeout" {
+		oc.Status = "timeout"
+	}
+	oc.ErrMsg = err.Error()
+	return oc
+}
+
+// kindOf buckets an error into the table's taxonomy column.
+func kindOf(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, rpm.ErrBadInput):
+		return "bad_input"
+	case errors.Is(err, rpm.ErrTooShort):
+		return "too_short"
+	case errors.Is(err, rpm.ErrCorruptModel):
+		return "corrupt_model"
+	case errors.Is(err, rpm.ErrInternal):
+		return "internal"
+	case errors.Is(err, ErrCheckpointCorrupt):
+		return "checkpoint_corrupt"
+	case errors.Is(err, ErrCheckpointMismatch):
+		return "checkpoint_mismatch"
+	default:
+		return "io"
+	}
+}
+
+// Deterministic returns a copy of the result with every field that
+// legitimately varies between runs of the same configuration — wall
+// times and the resumed count — stripped, leaving exactly the fields
+// that must agree byte for byte between an interrupted-and-resumed run
+// and an uninterrupted one. The archive-smoke CI gate diffs this
+// projection.
+func (r *Result) Deterministic() *Result {
+	out := *r
+	out.Resumed = 0
+	out.Outcomes = make([]Outcome, len(r.Outcomes))
+	for i, oc := range r.Outcomes {
+		oc.TrainMillis = 0
+		oc.PredictMillis = 0
+		oc.Resumed = false
+		out.Outcomes[i] = oc
+	}
+	return &out
+}
+
+// JSON serializes the result (indented, trailing newline).
+func (r *Result) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, archErr("JSON", ErrRunFailed, err)
+	}
+	return append(blob, '\n'), nil
+}
+
+// WriteTable renders the human-readable table. When deterministic is
+// true the time columns render as "-" (the Deterministic projection).
+func (r *Result) WriteTable(w io.Writer, deterministic bool) error {
+	const op = "WriteTable"
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DATASET\tSTATUS\tBAGS\tPATTERNS\tACC\tTRAIN_MS\tPREDICT_MS\tCANDIDATES\tNOTE")
+	for _, oc := range r.Outcomes {
+		trainMS, predictMS := "-", "-"
+		if !deterministic {
+			trainMS = fmt.Sprintf("%d", oc.TrainMillis)
+			predictMS = fmt.Sprintf("%d", oc.PredictMillis)
+		}
+		note := oc.ErrKind
+		if oc.Resumed && !deterministic {
+			note = "resumed"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.4f\t%s\t%s\t%d\t%s\n",
+			oc.Dataset, oc.Status, oc.Bags, oc.Patterns, oc.Accuracy,
+			trainMS, predictMS, oc.Counters["train.candidates"], note)
+	}
+	if err := tw.Flush(); err != nil {
+		return archErr(op, ErrRunFailed, err)
+	}
+	return nil
+}

@@ -6,27 +6,29 @@ import (
 	"strings"
 )
 
-// ErrTaxonomy enforces PR 2's error contract on the public API: every
-// error leaving an exported function of the root package must be a
-// typed *rpm.Error (built by the package's own constructors or helper
-// wrappers), a sentinel, or an unwrapped context error — never a raw
-// errors.New/fmt.Errorf and never an error from an internal package
-// passed through unclassified.
+// ErrTaxonomy enforces the error contract (PR 2) on every package in
+// Config.ErrTaxonomyPkgs: each of those packages declares its own
+// sentinels, typed *Error, and constructors, and every error leaving
+// one of its exported functions must be built by those own-package
+// declarations, be a sentinel, or be an unwrapped context error —
+// never a raw errors.New/fmt.Errorf and never an error from another
+// package passed through unclassified.
 //
-// The check is intraprocedural: a returned error expression is accepted
-// when it is nil, a package-level Err* sentinel, an &Error{...} literal,
-// a call into the root package itself (constructors and helpers are
+// The check is intraprocedural and self-relative: a returned error
+// expression is accepted when it is nil, a package-level Err* sentinel
+// of the analyzed package, an own-package &Error{...} literal, a call
+// back into the analyzed package itself (constructors and helpers are
 // checked at their own definition sites), or a context error. Returned
 // variables are traced through their assignments within the function;
 // an assignment from a call into any other package flags the return.
 var ErrTaxonomy = &Analyzer{
 	Name: "errtaxonomy",
-	Doc:  "exported root-package functions must return typed *Error values",
+	Doc:  "exported functions of taxonomy packages must return own typed *Error values",
 	Run:  runErrTaxonomy,
 }
 
 func runErrTaxonomy(pass *Pass) {
-	if pass.Pkg.Path() != pass.Config.RootPkg {
+	if !pass.Config.errTaxonomyChecked(pass.Pkg.Path()) {
 		return
 	}
 	for _, f := range pass.Files {
@@ -96,7 +98,7 @@ func (p *Pass) checkReturns(fd *ast.FuncDecl, sig *types.Signature, errIdx int) 
 			// return f(...) — multi-value passthrough.
 			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
 				if bad, why := p.errExprViolates(call, fd); bad {
-					p.Reportf(ret.Pos(), "exported %s returns %s; route errors through the *Error constructors (apiErr/apiErrf/wrapCoreErr) or sentinels", fd.Name.Name, why)
+					p.Reportf(ret.Pos(), "exported %s returns %s; route errors through the package's own *Error constructors or sentinels", fd.Name.Name, why)
 				}
 			}
 			return
@@ -105,7 +107,7 @@ func (p *Pass) checkReturns(fd *ast.FuncDecl, sig *types.Signature, errIdx int) 
 			return
 		}
 		if bad, why := p.errExprViolates(ret.Results[errIdx], fd); bad {
-			p.Reportf(ret.Pos(), "exported %s returns %s; route errors through the *Error constructors (apiErr/apiErrf/wrapCoreErr) or sentinels", fd.Name.Name, why)
+			p.Reportf(ret.Pos(), "exported %s returns %s; route errors through the package's own *Error constructors or sentinels", fd.Name.Name, why)
 		}
 	})
 }
@@ -124,7 +126,7 @@ func (p *Pass) errExprViolates(e ast.Expr, fd *ast.FuncDecl) (bool, string) {
 			return false, ""
 		}
 		if v, ok := obj.(*types.Var); ok {
-			if v.Pkg() != nil && v.Pkg().Path() == p.Config.RootPkg && v.Parent() == v.Pkg().Scope() {
+			if v.Pkg() != nil && v.Pkg().Path() == p.Pkg.Path() && v.Parent() == v.Pkg().Scope() {
 				if strings.HasPrefix(v.Name(), "Err") || strings.HasPrefix(v.Name(), "err") {
 					return false, "" // sentinel
 				}
@@ -139,7 +141,7 @@ func (p *Pass) errExprViolates(e ast.Expr, fd *ast.FuncDecl) (bool, string) {
 		switch pkg {
 		case "":
 			return false, "" // builtin / conversion / func-typed var: out of scope
-		case p.Config.RootPkg, "context":
+		case p.Pkg.Path(), "context":
 			return false, ""
 		case "errors":
 			if p.calleeOf(e).Name() == "Join" {
@@ -152,8 +154,8 @@ func (p *Pass) errExprViolates(e ast.Expr, fd *ast.FuncDecl) (bool, string) {
 			if fn := p.calleeOf(e); fn != nil {
 				if sigOf, ok := fn.Type().(*types.Signature); ok && sigOf.Recv() != nil {
 					if named, ok := derefNamed(sigOf.Recv().Type()); ok {
-						if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Config.RootPkg {
-							return false, "" // method on a root-package type
+						if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Pkg.Path() {
+							return false, "" // method on an own-package type
 						}
 					}
 				}
@@ -174,12 +176,12 @@ func (p *Pass) errExprViolates(e ast.Expr, fd *ast.FuncDecl) (bool, string) {
 	}
 }
 
-// compositeErrViolates accepts composite literals of root-package types
+// compositeErrViolates accepts composite literals of own-package types
 // (e.g. &Error{...}) and flags everything else.
 func (p *Pass) compositeErrViolates(lit *ast.CompositeLit) (bool, string) {
 	t := p.TypeOf(lit)
 	if named, ok := derefNamed(t); ok {
-		if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Config.RootPkg {
+		if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Pkg.Path() {
 			return false, ""
 		}
 		return true, "a foreign error literal"
@@ -189,7 +191,7 @@ func (p *Pass) compositeErrViolates(lit *ast.CompositeLit) (bool, string) {
 
 // varAssignViolates traces every assignment to v inside fd; the
 // variable is clean when no assignment stores an error produced
-// outside the root package (or context).
+// outside the analyzed package (or context).
 func (p *Pass) varAssignViolates(v *types.Var, fd *ast.FuncDecl) (bool, string) {
 	bad := false
 	why := ""

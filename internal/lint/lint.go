@@ -12,9 +12,10 @@
 //	nondeterm     — no clock / global-rand / environment reads in
 //	                deterministic packages outside obs-recording call
 //	                sites (PR 1 + PR 3).
-//	errtaxonomy   — exported functions of package rpm route every
-//	                returned error through the typed *rpm.Error
-//	                constructors or sentinels (PR 2).
+//	errtaxonomy   — exported functions of the error-taxonomy packages
+//	                (the public rpm API and the archive runner) route
+//	                every returned error through their own typed
+//	                *Error constructors or sentinels (PR 2, PR 9).
 //	baregoroutine — no bare `go` statements outside the worker-pool /
 //	                serving / obs layers, so fan-out stays cancellable
 //	                and pool-accounted (PR 1 + PR 4).
@@ -55,9 +56,12 @@ type Config struct {
 	// obs-recording (nondeterm exemption) and its exported
 	// pointer-receiver methods must be nil-guarded (nilsafeobs).
 	ObsPkg string
-	// RootPkg is the public API package whose exported functions must
-	// route errors through the typed taxonomy (errtaxonomy).
-	RootPkg string
+	// ErrTaxonomyPkgs are the packages whose exported functions must
+	// route errors through their own typed taxonomy (errtaxonomy):
+	// each declares its own sentinels, *Error type, and constructors,
+	// and the analyzer checks every listed package against its own
+	// declarations.
+	ErrTaxonomyPkgs []string
 	// GoroutineExemptPkgs are import paths (exact, or prefixes when
 	// ending in "/") where bare `go` statements are allowed
 	// (baregoroutine).
@@ -79,8 +83,11 @@ func Defaults() Config {
 			"rpm/internal/paa",
 			"rpm/internal/stream",
 		},
-		ObsPkg:  "rpm/internal/obs",
-		RootPkg: "rpm",
+		ObsPkg: "rpm/internal/obs",
+		ErrTaxonomyPkgs: []string{
+			"rpm",
+			"rpm/internal/experiments/archive",
+		},
 		GoroutineExemptPkgs: []string{
 			"rpm/internal/parallel",
 			"rpm/internal/serve", // prefix: also covers serve/client
@@ -95,6 +102,17 @@ func Defaults() Config {
 // packages.
 func (c Config) deterministic(path string) bool {
 	for _, p := range c.DeterministicPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// errTaxonomyChecked reports whether path's exported functions are
+// held to the typed-error taxonomy.
+func (c Config) errTaxonomyChecked(path string) bool {
+	for _, p := range c.ErrTaxonomyPkgs {
 		if p == path {
 			return true
 		}

@@ -13,7 +13,7 @@ func fixtureConfig() Config {
 	return Config{
 		DeterministicPkgs:   []string{"lintfix/detmap", "lintfix/nondeterm"},
 		ObsPkg:              "lintfix/nondeterm/obs",
-		RootPkg:             "lintfix/errtaxonomy",
+		ErrTaxonomyPkgs:     []string{"lintfix/errtaxonomy", "lintfix/errtaxonomy/second"},
 		GoroutineExemptPkgs: []string{"lintfix/baregoroutine/pool"},
 	}
 }
@@ -184,6 +184,24 @@ func TestGoroutineExempt(t *testing.T) {
 	} {
 		if got := cfg.goroutineExempt(path); got != want {
 			t.Errorf("goroutineExempt(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestErrTaxonomySet pins which packages are held to the typed-error
+// taxonomy: the public API and the archive runner, and nothing else.
+func TestErrTaxonomySet(t *testing.T) {
+	cfg := Defaults()
+	for path, want := range map[string]bool{
+		"rpm":                              true,
+		"rpm/internal/experiments/archive": true,
+		"rpm/internal/core":                false,
+		"rpm/internal/serve":               false,
+		"rpm/internal/experiments":         false,
+		"rpm/cmd/rpmarchive":               false,
+	} {
+		if got := cfg.errTaxonomyChecked(path); got != want {
+			t.Errorf("errTaxonomyChecked(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

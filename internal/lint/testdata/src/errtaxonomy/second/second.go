@@ -1,0 +1,68 @@
+// Package second is the multi-package fixture for the errtaxonomy
+// analyzer: a second taxonomy package with its own sentinel, typed
+// error, and constructor. It pins the analyzer's self-relative
+// semantics — "own package" means the package under analysis, so
+// second's constructors are accepted here while errors built by the
+// sibling taxonomy package (lintfix/errtaxonomy) are foreign and must
+// be reclassified before they leave second's exported surface.
+package second
+
+import (
+	"errors"
+
+	errtaxonomy "lintfix/errtaxonomy"
+	"lintfix/errtaxonomy/internal/dep"
+)
+
+// ErrFailed is this package's sentinel.
+var ErrFailed = errors.New("second failed")
+
+// SecondError is this package's typed error.
+type SecondError struct {
+	Op   string
+	Kind error
+}
+
+func (e *SecondError) Error() string { return e.Op + ": " + e.Kind.Error() }
+
+// Unwrap exposes the sentinel.
+func (e *SecondError) Unwrap() error { return e.Kind }
+
+// secErr is this package's constructor.
+func secErr(op string, kind error) *SecondError { return &SecondError{Op: op, Kind: kind} }
+
+// GoodOwnConstructor routes through this package's constructor.
+func GoodOwnConstructor(x int) error {
+	if x < 0 {
+		return secErr("GoodOwnConstructor", ErrFailed)
+	}
+	return nil
+}
+
+// GoodOwnLiteral builds this package's typed error inline.
+func GoodOwnLiteral() error { return &SecondError{Op: "GoodOwnLiteral", Kind: ErrFailed} }
+
+// GoodWrappedDep classifies the dep error before returning it.
+func GoodWrappedDep() error {
+	if err := dep.Do(); err != nil {
+		return secErr("GoodWrappedDep", err)
+	}
+	return nil
+}
+
+// BadSiblingTaxonomy leaks an error built by the sibling taxonomy
+// package: typed there, foreign here — own-package is relative to the
+// package under analysis, not a fixed root.
+func BadSiblingTaxonomy() error {
+	return errtaxonomy.GoodConstructor(-1) // want "unclassified error from lintfix/errtaxonomy"
+}
+
+// BadDepPassthrough leaks a dep error directly.
+func BadDepPassthrough() error {
+	return dep.Do() // want "unclassified error from lintfix/errtaxonomy/internal/dep"
+}
+
+// BadRawNew returns a raw errors.New.
+func BadRawNew() error {
+	return errors.New("raw") // want "raw errors.New"
+}

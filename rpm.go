@@ -123,6 +123,25 @@ type Options struct {
 	MaxEvals int
 	// Seed makes training deterministic (default 1).
 	Seed int64
+	// Sample configures seeded subsampling of the candidate-mining
+	// work — the fast-training path: Step 1 discretizes only a seeded
+	// fraction of the sliding-window blocks, and the parameter search
+	// keeps the same fraction of its grid points (grid mode) or
+	// objective evaluations (DIRECT mode). Sample.Rate 0 (the zero
+	// value) and 1 both mean exhaustive mining, bit-identical to a run
+	// without this knob. Sampling is deterministic: every keep/drop
+	// decision is a pure function of (Sample.Seed, position), so the
+	// trained model is byte-identical for any Workers value. See
+	// DESIGN.md §15.
+	Sample SampleOptions
+	// Bags selects bagged-ensemble training via TrainEnsemble: Bags
+	// members each mine their own Sample-seeded candidate subset (the
+	// parameter search runs once, shared) and classify by majority
+	// vote, ties breaking toward the smaller label. 0 and 1 both mean
+	// a single model; Bags > 1 requires Sample.Rate in (0,1) — with
+	// exhaustive mining every member would be identical. Train ignores
+	// Bags; use TrainEnsemble.
+	Bags int
 	// Workers bounds the concurrency of training's parallel stages (the
 	// pattern×instance transform matrix, the parameter-search
 	// cross-validation, candidate pruning) and of PredictBatch: 0 means
@@ -139,6 +158,18 @@ type Options struct {
 	// the uninstrumented path records nothing and allocates nothing, and
 	// instrumentation never changes the trained model (see DESIGN.md §9).
 	Instrument bool
+}
+
+// SampleOptions configures the seeded candidate-pool subsampling of
+// Options.Sample.
+type SampleOptions struct {
+	// Rate is the fraction of mining work kept, in [0,1]. 0 and 1 both
+	// disable sampling (exhaustive mining).
+	Rate float64
+	// Seed drives every keep/drop decision; 0 derives it from
+	// Options.Seed, so a sampled run is reproducible without spelling
+	// the seed out twice.
+	Seed int64
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -524,6 +555,8 @@ func toCoreOptions(o Options) core.Options {
 	if o.Seed != 0 {
 		c.Seed = o.Seed
 	}
+	c.Sample = core.SampleOptions{Rate: o.Sample.Rate, Seed: o.Sample.Seed}
+	c.Bags = o.Bags
 	c.Workers = o.Workers
 	if o.Instrument {
 		c.Obs = obs.NewRegistry()

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Archive smoke: the crash-resume proof for cmd/rpmarchive. Run B is
+# started on a 3-dataset synthetic mini-archive and SIGKILLed as soon as
+# its first checkpoint lands — the dataset list is chosen so the
+# heaviest dataset (SynTrace) sorts last, leaving a wide window where
+# some checkpoints exist and some datasets are still untrained. The
+# resumed run must serve the surviving checkpoints from disk, train the
+# rest, and produce a deterministic table byte-identical to run A,
+# which ran uninterrupted at a different worker count — covering
+# crash-safety and worker-independence in one diff.
+#
+# Usage: scripts/archive_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+cleanup() { rm -rf "$work"; }
+trap cleanup EXIT
+
+datasets="SynECG200,SynItalyPower,SynTrace"
+args=(-datasets "$datasets" -mode fixed -window 12 -paa 4 -alpha 4 -seed 3 -deterministic -json)
+
+echo "== build"
+go build -o "$work/rpmarchive" ./cmd/rpmarchive
+
+echo "== run A (uninterrupted, workers=2)"
+"$work/rpmarchive" -out "$work/a" -workers 2 "${args[@]}" > "$work/a.json"
+
+# kill_midrun starts a sequential run and SIGKILLs it once the first
+# checkpoint file appears. Success: the killed run left some — but not
+# all — checkpoints behind.
+kill_midrun() {
+    rm -rf "$work/b"
+    set +e
+    "$work/rpmarchive" -out "$work/b" -workers 1 "${args[@]}" > /dev/null 2>&1 &
+    local bpid=$!
+    for _ in $(seq 1 500); do
+        if compgen -G "$work/b/*.ckpt.json" > /dev/null; then
+            break
+        fi
+        sleep 0.01
+    done
+    kill -9 "$bpid" 2>/dev/null
+    wait "$bpid" 2>/dev/null
+    set -e
+    ckpts=$(ls "$work/b"/*.ckpt.json 2>/dev/null | wc -l)
+    [ "$ckpts" -ge 1 ] && [ "$ckpts" -lt 3 ]
+}
+
+echo "== run B (workers=1, killed after first checkpoint)"
+killed=no
+for attempt in 1 2 3 4 5; do
+    if kill_midrun; then
+        killed=yes
+        echo "   attempt $attempt: killed at $ckpts/3 checkpoints"
+        break
+    fi
+    echo "   attempt $attempt: kill landed at $ckpts/3 checkpoints, retrying"
+done
+if [ "$killed" != yes ]; then
+    echo "archive smoke FAILED: could not kill run B mid-archive in 5 attempts" >&2
+    exit 1
+fi
+
+echo "== run B resume"
+"$work/rpmarchive" -out "$work/b" -workers 1 -resume "${args[@]}" > "$work/b.json"
+
+echo "== diff deterministic tables"
+if ! diff -u "$work/a.json" "$work/b.json"; then
+    echo "archive smoke FAILED: resumed table differs from uninterrupted run" >&2
+    exit 1
+fi
+
+echo "archive smoke OK (killed at $ckpts/3 checkpoints, resume byte-identical)"
