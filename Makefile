@@ -57,7 +57,7 @@ COVER_PKGS = . \
 	./internal/parallel \
 	./internal/obs
 
-.PHONY: all build test race vet lint bench fuzz cover check \
+.PHONY: all build test race vet lint lint-drill bench fuzz cover check \
 	bench-json bench-gate bench-baseline load-smoke stream-smoke chaos \
 	archive-smoke
 
@@ -85,6 +85,13 @@ vet:
 # See DESIGN.md §11.
 lint:
 	$(GO) run ./cmd/rpmlint ./...
+
+# Seeded-violation drill: one deliberately violating package per
+# interprocedural analyzer (hotpathalloc, ctxflow, obsnames, faultsite,
+# staleignore); rpmlint must exit 1 naming the analyzer, proving the
+# gate can still fail.
+lint-drill:
+	./scripts/lint_drill.sh
 
 # Parallel-stage benchmarks with the speedup metric (sequential vs
 # GOMAXPROCS), at 1 and 4 procs.
@@ -163,4 +170,4 @@ chaos:
 archive-smoke:
 	./scripts/archive_smoke.sh
 
-check: build vet lint test race cover fuzz load-smoke stream-smoke archive-smoke
+check: build vet lint lint-drill test race cover fuzz load-smoke stream-smoke archive-smoke

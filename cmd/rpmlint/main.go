@@ -1,29 +1,31 @@
 // Command rpmlint runs the repo's project-specific static analyzers
 // (internal/lint) over the given package patterns and reports
-// violations of the determinism, error-taxonomy, concurrency, and
-// nil-safe-obs invariants.
+// violations of the determinism, error-taxonomy, concurrency,
+// nil-safe-obs, and interprocedural hot-path/context/obs-name/fault-
+// site invariants.
 //
 // Usage:
 //
-//	rpmlint [-C dir] [-list] [packages...]
+//	rpmlint [-C dir] [-list] [-format text|json|sarif] [-o file] [packages...]
 //
-// With no patterns it analyzes ./... . Diagnostics render as
-// file:line:col: message [analyzer]. Deliberate exceptions are
-// annotated in the source:
+// With no patterns it analyzes ./... . The default text format renders
+// diagnostics as file:line:col: message [analyzer]; -format json emits
+// a machine-readable report and -format sarif a SARIF 2.1.0 log for
+// GitHub code scanning (-json is shorthand for -format json).
+// Deliberate exceptions are annotated in the source:
 //
 //	//rpmlint:ignore <analyzer> <reason>
 //
 // on the offending line or the line directly above it.
 //
-// Exit codes: 0 — clean; 1 — diagnostics reported; 2 — usage or load
-// error (unparseable package, type-check failure).
+// Exit codes: 0 — clean; 1 — diagnostics reported (any format); 2 —
+// usage or load error (unparseable package, type-check failure).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"rpm/internal/lint"
 )
@@ -36,12 +38,18 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("rpmlint", flag.ContinueOnError)
 	dir := fs.String("C", ".", "directory to run in (module root)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	jsonShort := fs.Bool("json", false, "shorthand for -format json")
+	outPath := fs.String("o", "", "write the report to this file instead of stdout")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: rpmlint [-C dir] [-list] [packages...]")
+		fmt.Fprintln(fs.Output(), "usage: rpmlint [-C dir] [-list] [-format text|json|sarif] [-o file] [packages...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *jsonShort {
+		*format = "json"
 	}
 	analyzers := lint.Analyzers()
 	if *list {
@@ -56,16 +64,35 @@ func run(args []string) int {
 		return 2
 	}
 	diags := lint.Run(lint.Defaults(), pkgs, analyzers)
-	for _, d := range diags {
-		// Render paths relative to the working directory when possible,
-		// keeping file:line:col clickable from the repo root.
-		name := d.Pos.Filename
-		if abs, err := filepath.Abs(*dir); err == nil {
-			if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
-			}
+
+	var report []byte
+	switch *format {
+	case "text":
+		for _, d := range diags {
+			report = append(report, d.Render(*dir)...)
+			report = append(report, '\n')
 		}
-		fmt.Printf("%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	case "json":
+		report, err = lint.JSON(diags, *dir)
+		report = append(report, '\n')
+	case "sarif":
+		report, err = lint.SARIF(diags, analyzers, *dir)
+		report = append(report, '\n')
+	default:
+		fmt.Fprintf(os.Stderr, "rpmlint: unknown format %q\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpmlint: %v\n", err)
+		return 2
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, report, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rpmlint: %v\n", err)
+			return 2
+		}
+	} else {
+		os.Stdout.Write(report)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "rpmlint: %d issue(s)\n", len(diags))

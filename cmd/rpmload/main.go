@@ -67,18 +67,6 @@ type errorEnvelope struct {
 	} `json:"error"`
 }
 
-// counter/summary names of the run registry.
-const (
-	ctrOK        = "load.ok"
-	ctrErrors    = "load.errors"
-	ctrTransport = "load.errors.transport"
-	// ctrShed counts 429 answers: deliberate backpressure, not failures
-	// (kept out of load.errors so -strict ignores them).
-	ctrShed    = "load.shed"
-	ctrDropped = "load.dropped"
-	sumLatency = "load.latency"
-)
-
 // maxRetryAfter caps how long a closed-loop worker honors a 429's
 // Retry-After hint, so a confused server cannot park the whole run.
 const maxRetryAfter = 2 * time.Second
@@ -300,7 +288,7 @@ func (g *loadgen) one() {
 	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
 		code = env.Error.Code
 	}
-	g.errsBy.Counter("load.errors." + code).Inc()
+	g.errsBy.Counter(ctrErrPrefix + code).Inc()
 }
 
 // oneRetrying issues one request through the resilient client; its
@@ -323,10 +311,10 @@ func (g *loadgen) oneRetrying(i int) {
 			return
 		}
 		g.errs.Inc()
-		g.errsBy.Counter("load.errors." + apiErr.Code).Inc()
+		g.errsBy.Counter(ctrErrPrefix + apiErr.Code).Inc()
 	case errors.Is(err, serveclient.ErrBreakerOpen):
 		g.errs.Inc()
-		g.errsBy.Counter("load.errors.breaker_open").Inc()
+		g.errsBy.Counter(ctrErrPrefix + "breaker_open").Inc()
 	default:
 		g.trans.Inc()
 	}

@@ -1,0 +1,20 @@
+package main
+
+// Counter/summary names of the run registry, in the repo-wide
+// obsnames.go convention (rpmlint obsnames): every recorded series is
+// declared here, so the generator's observable surface reads in one
+// place.
+const (
+	ctrOK        = "load.ok"
+	ctrErrors    = "load.errors"
+	ctrTransport = "load.errors.transport"
+	// ctrShed counts 429 answers: deliberate backpressure, not failures
+	// (kept out of load.errors so -strict ignores them).
+	ctrShed    = "load.shed"
+	ctrDropped = "load.dropped"
+	sumLatency = "load.latency"
+	// ctrErrPrefix prefixes one counter per distinct terminal error
+	// code (taxonomy code or http_<status>), plus breaker_open from the
+	// resilient client.
+	ctrErrPrefix = "load.errors."
+)

@@ -388,6 +388,8 @@ func (t *transformer) apply(v []float64) []float64 {
 // This is the allocation-free predict-path kernel: one Query stats pass
 // per pattern length, each matcher seeded with its previous best
 // position.
+//
+//rpmlint:hotpath PR6 predict kernel: steady-state transform is 0-alloc
 func (t *transformer) applyInto(dst []float64, v []float64, sc *transformScratch) {
 	sc.q.Reset(v)
 	if t.rotInv {

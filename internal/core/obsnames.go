@@ -42,6 +42,11 @@ const (
 	// (TrainBaggedContext); the shared parameter search sits beside
 	// the member spans under SpanTrain.
 	SpanBagMember = "bag.member."
+	// SpanSearchGrid wraps the parallel grid sweep of one parameter
+	// search; SpanDirectClass + class label wraps one class's DIRECT
+	// minimization.
+	SpanSearchGrid  = "grid"
+	SpanDirectClass = "direct.class."
 
 	CtrCandidates      = "train.candidates"
 	CtrCandidatesClass = "train.candidates.class." // + class label

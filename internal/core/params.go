@@ -92,7 +92,10 @@ func (e *evaluator) fmeasures(ctx context.Context, p sax.Params) (map[int]float6
 		if err != nil || len(clf.Patterns) == 0 {
 			return nil // canceled or no candidate: contributes 0 to every class
 		}
-		preds := clf.PredictBatch(sp.validate)
+		preds, err := clf.PredictBatchContext(ctx, sp.validate)
+		if err != nil {
+			return nil // canceled mid-validate; MapCtxPool reports it
+		}
 		return stats.FMeasures(preds, sp.validate.Labels())
 	})
 	if err != nil {
@@ -215,7 +218,7 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 			opts.Obs.Counter(CtrSampleGridKept).Add(int64(len(kept)))
 			opts.Obs.Counter(CtrSampleGridDropped).Add(int64(dropped))
 		}
-		gridSpan := opts.span.Start("grid")
+		gridSpan := opts.span.Start(SpanSearchGrid)
 		scores, err := parallel.MapCtxPool(ctx, len(grid), opts.Workers, opts.Obs.Pool(PoolSearchGrid), func(i int) map[int]float64 {
 			fs, _ := e.fmeasures(ctx, grid[i]) // nil on cancel; MapCtx reports it
 			return fs
@@ -240,7 +243,7 @@ func selectParams(ctx context.Context, train ts.Dataset, opts Options) (map[int]
 		}
 		for _, c := range e.classes {
 			class := c
-			classSpan := opts.span.Start(fmt.Sprintf("direct.class.%d", class))
+			classSpan := opts.span.Start(fmt.Sprintf("%s%d", SpanDirectClass, class))
 			direct.Minimize(func(x []float64) float64 {
 				if ctx.Err() != nil {
 					return 1 // worst objective; evaluation is now O(1)

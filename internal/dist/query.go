@@ -39,8 +39,10 @@ func (w *WindowStats) compute(series []float64, n int) {
 	nw := len(series) - n + 1
 	w.n = n
 	if cap(w.mean) < nw {
-		w.mean = make([]float64, nw)
-		w.inv = make([]float64, nw)
+		// One-time warm-up per (query, length): the buffers grow to the
+		// window count once and are reused by every later compute.
+		w.mean = make([]float64, nw) //rpmlint:ignore hotpathalloc stats-cache warm-up, amortized across all patterns of this length
+		w.inv = make([]float64, nw)  //rpmlint:ignore hotpathalloc stats-cache warm-up, amortized across all patterns of this length
 	}
 	w.mean = w.mean[:nw]
 	w.inv = w.inv[:nw]
@@ -122,10 +124,10 @@ func (q *Query) Stats(n int) *WindowStats {
 		st = extra[len(q.stats)]
 	}
 	if st == nil {
-		st = &WindowStats{}
+		st = &WindowStats{} //rpmlint:ignore hotpathalloc one WindowStats per distinct pattern length, recycled by Reset
 	}
 	st.compute(q.series, n)
-	q.stats = append(q.stats, st)
+	q.stats = append(q.stats, st) //rpmlint:ignore hotpathalloc grows to the distinct-length count once; Reset keeps capacity
 	return st
 }
 
@@ -133,6 +135,8 @@ func (q *Query) Stats(n int) *WindowStats {
 // rolling mean/variance sweep is read from q's cache (computed once per
 // pattern length) instead of being re-derived per pattern. The returned
 // Match is bit-identical to Best(q.Series()).
+//
+//rpmlint:hotpath PR6 predict kernel: stats-sharing scan must stay 0-alloc
 func (m *Matcher) BestQuery(q *Query) Match { return m.BestQuerySeeded(q, -1) }
 
 // BestQuerySeeded is BestQuery with an early-abandon seed: when seedPos
@@ -144,6 +148,8 @@ func (m *Matcher) BestQuery(q *Query) Match { return m.BestQuerySeeded(q, -1) }
 // previous query's best position, which nearby queries tend to repeat —
 // only makes the scan cheaper. seedPos < 0 or out of range disables
 // seeding.
+//
+//rpmlint:hotpath PR6 predict kernel: seeded scan must stay 0-alloc
 func (m *Matcher) BestQuerySeeded(q *Query, seedPos int) Match {
 	series := q.series
 	if len(m.zp) == 0 || len(series) == 0 {
@@ -152,6 +158,7 @@ func (m *Matcher) BestQuerySeeded(q *Query, seedPos int) Match {
 	if len(m.zp) > len(series) {
 		// Short query: the roles swap and the stats (computed over the
 		// series, not the pattern) no longer apply — route through Best.
+		//rpmlint:ignore hotpathalloc degenerate short-query fallback copies once; production queries are longer than every pattern
 		return m.Best(series)
 	}
 	return bestMatchZStats(m.zp, series, q.Stats(len(m.zp)), m.zpSq, seedPos)
@@ -234,7 +241,7 @@ func bestMatchZStats(zp, series []float64, st *WindowStats, zpSq float64, seedPo
 	preN := 0
 	if n >= 4 {
 		if cap(st.lb) < nw {
-			st.lb = make([]float64, nw)
+			st.lb = make([]float64, nw) //rpmlint:ignore hotpathalloc lower-bound buffer grows once per (query, length), then reused
 		}
 		lb = st.lb[:nw]
 		preN = 4
@@ -354,6 +361,8 @@ const scanStride = 8
 // than the per-matcher scans on real workloads (patterns abandon within
 // a few elements, so the shared values are rarely re-read while the
 // extra stores and bookkeeping are always paid) and was dropped.
+//
+//rpmlint:hotpath PR6 predict kernel: grouped scan must stay 0-alloc
 func BestQueryGroup(ms []*Matcher, q *Query, seeds []int, out []Match) {
 	if len(out) != len(ms) {
 		panic("dist: BestQueryGroup out length mismatch")

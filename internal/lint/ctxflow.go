@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation (PR 2 threaded cancellation
+// through train/predict/search; PR 4+ through the serving layer):
+//
+//   - context.Background()/TODO() may create a root context only in
+//     cmd/* packages. Elsewhere it is allowed only as (a) a plain `=`
+//     re-assignment normalizing a nil ctx field/variable, or (b) a
+//     direct call argument inside a function that holds no context
+//     itself (the deliberate-detach / convenience-wrapper idiom).
+//     A function that HOLDS a ctx and still conjures a fresh
+//     Background is dropping cancellation on the floor — flagged.
+//   - A ctx-holding function calling plain Foo when the facts engine
+//     knows a FooContext/FooCtx sibling exists is flagged: the variant
+//     exists precisely so the ctx can flow.
+//   - A ctx-holding function passing a nil literal where the callee
+//     accepts a context is flagged.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must flow: no Background()/TODO() outside cmd/*, no dropping a held ctx",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFlow(pass, fd)
+		}
+	}
+}
+
+// checkCtxFlow applies the three rules to one function declaration
+// (closure bodies included: a closure capturing the held ctx is part of
+// the same flow).
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
+	holds := fnHoldsCtx(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := pass.calleeOf(call).(*types.Func)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			checkCtxRoot(pass, fd, call, fn.Name(), holds)
+			return true
+		}
+		if holds {
+			checkHeldCtxCall(pass, call, fn)
+		}
+		return true
+	})
+}
+
+// fnHoldsCtx reports whether fd has a context.Context parameter or
+// defines a context-typed local with := (a root it created and now
+// owns).
+func fnHoldsCtx(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if isContextType(pass.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	holds := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if isContextType(pass.TypeOf(id)) {
+					holds = true
+				}
+			}
+		}
+		return true
+	})
+	return holds
+}
+
+// checkCtxRoot judges one context.Background()/TODO() call.
+func checkCtxRoot(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, name string, holds bool) {
+	if pass.Config.cmdPkg(pass.PkgPath) {
+		return // binaries own their root context
+	}
+	parent := pass.parentOf(call)
+	// Nil-normalization: ctx = context.Background() overwriting an
+	// existing context-typed variable or field is defaulting an
+	// optional ctx, not discarding one.
+	if as, ok := parent.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call && i < len(as.Lhs) && isContextType(pass.TypeOf(as.Lhs[i])) {
+				return
+			}
+		}
+	}
+	// ctx := context.Background() in library code is creating a root no
+	// matter what else the function holds.
+	if as, ok := parent.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+		pass.Reportf(call.Pos(), "context.%s() outside cmd/*: accept a ctx parameter instead of creating a root here", name)
+		return
+	}
+	if !holds {
+		// A ctx-less function passing Background straight into a callee
+		// is the convenience-wrapper idiom (Foo calling FooContext).
+		if pcall, ok := parent.(*ast.CallExpr); ok {
+			for _, arg := range pcall.Args {
+				if ast.Unparen(arg) == call {
+					return
+				}
+			}
+		}
+		pass.Reportf(call.Pos(), "context.%s() outside cmd/*: accept a ctx parameter instead of creating a root here", name)
+		return
+	}
+	pass.Reportf(call.Pos(), "%s holds a context but calls context.%s(); pass the held ctx instead", fd.Name.Name, name)
+}
+
+// checkHeldCtxCall flags a ctx-holder calling the ctx-less variant of a
+// function whose Context/Ctx sibling exists, or passing a nil context.
+func checkHeldCtxCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	facts := pass.Facts
+	if facts == nil {
+		return
+	}
+	if ff := facts.FuncFact(fn); ff != nil && !ff.AcceptsCtx && ff.CtxVariant != nil {
+		pass.Reportf(call.Pos(), "holding a context but calling %s; use %s so cancellation propagates", fn.Name(), ff.CtxVariant.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && id.Name == "nil" {
+			if pass.TypeOf(id) != nil {
+				if b, ok := pass.TypeOf(id).(*types.Basic); ok && b.Kind() == types.UntypedNil {
+					pass.Reportf(call.Args[i].Pos(), "holding a context but passing nil to %s; pass the held ctx", fn.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultSite keeps the PR-7 fault-injection surface and the chaos suite
+// in sync (DESIGN.md §13):
+//
+//   - every Injector.Fire/Err/Sleep call site must name its site via a
+//     string constant declared in the faults package (raw literals
+//     drift silently when a site is renamed);
+//   - every exported Site* constant the faults package declares must be
+//     exercised by at least one injection call inside the configured
+//     use layer (internal/serve) — a declared-but-dead site means the
+//     chaos scenarios document coverage that no longer exists.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "fault-injection sites must use declared Site* constants, and every declared site must be exercised",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(pass *Pass) {
+	facts := pass.Facts
+	if facts == nil || pass.Config.FaultsPkg == "" {
+		return
+	}
+
+	// Rule 1: injection calls in this package name declared constants.
+	for _, fc := range facts.faultCalls {
+		if fc.PkgPath != pass.PkgPath {
+			continue
+		}
+		ok := false
+		for _, c := range constsIn(pass.Info, fc.Arg) {
+			if c.Pkg() != nil && c.Pkg().Path() == pass.Config.FaultsPkg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(fc.Pos, "fault site passed to %s is not a %s constant; declare the site there", fc.Fn, pass.Config.FaultsPkg)
+		}
+	}
+
+	// Rule 2, checked while visiting the faults package itself: every
+	// exported Site* constant is exercised in the use layer.
+	if pass.PkgPath != pass.Config.FaultsPkg {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Site") || !name.IsExported() {
+						continue
+					}
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					basic, ok := c.Type().Underlying().(*types.Basic)
+					if !ok || basic.Info()&types.IsString == 0 {
+						continue
+					}
+					exercised := false
+					for _, pkgPath := range facts.usedFaultSites[canonKey(c)] {
+						if pass.Config.faultsUse(pkgPath) {
+							exercised = true
+							break
+						}
+					}
+					if !exercised {
+						pass.Reportf(name.Pos(), "fault site %s is declared but never exercised by the serving layer; wire it in or delete it", name.Name)
+					}
+				}
+			}
+		}
+	}
+}

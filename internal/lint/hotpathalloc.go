@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc enforces the 0-alloc hot-path invariant (PR 6 predict
+// kernels, PR 8 stream append): a function whose declaration carries a
+// //rpmlint:hotpath marker must be transitively allocation-free. The
+// analyzer walks the pass-1 call graph from each marked root, across
+// package boundaries, and reports
+//
+//   - every potentially-allocating construct (make/new, append that may
+//     grow, map/slice/&composite literals, closures, go statements,
+//     string concatenation/conversions, interface boxing) inside any
+//     reached function,
+//   - every call into an unanalyzed package that is not on the
+//     known-non-allocating allowlist (math, sync/atomic, mutexes, ...),
+//   - every dynamic call (func value / interface method), whose callee
+//     the engine cannot prove allocation-free.
+//
+// An //rpmlint:ignore hotpathalloc <reason> on a call line cuts that
+// edge: the callee subtree is treated as reviewed-and-accepted (pool
+// warm-up, error/fault paths) and is not traversed.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//rpmlint:hotpath functions must be transitively allocation-free",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	facts := pass.Facts
+	if facts == nil {
+		return
+	}
+	for _, root := range facts.HotpathRoots() {
+		// Each root is checked by the pass of its declaring package so
+		// per-root work runs exactly once; reported sites are deduped
+		// run-wide in facts.hotpathReported (the first root to reach a
+		// site names it).
+		if root.PkgPath != pass.PkgPath {
+			continue
+		}
+		walkHotPath(pass, root, root, map[string]bool{})
+	}
+}
+
+// walkHotPath reports the allocation facts of ff and recurses into its
+// resolved callees, chaining the diagnostic back to root.
+func walkHotPath(pass *Pass, root, ff *FuncFact, visited map[string]bool) {
+	key := canonKey(ff.Fn)
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+	facts := pass.Facts
+
+	report := func(at token.Pos, what string) {
+		if facts.hotpathReported[at] {
+			return
+		}
+		facts.hotpathReported[at] = true
+		if root == ff {
+			pass.Reportf(at, "hot path %s: %s", root.Fn.Name(), what)
+		} else {
+			pass.Reportf(at, "hot path %s (via %s): %s", root.Fn.Name(), ff.Fn.Name(), what)
+		}
+	}
+
+	for _, a := range ff.Allocs {
+		report(a.Pos, a.What)
+	}
+	for _, d := range ff.Dynamic {
+		if pass.EdgeCut(d.Pos) {
+			continue
+		}
+		report(d.Pos, "dynamic call ("+d.Desc+") cannot be proven allocation-free")
+	}
+	for _, c := range ff.Calls {
+		callee := facts.FuncFact(c.Fn)
+		if callee != nil {
+			if pass.EdgeCut(c.Pos) {
+				continue // reviewed boundary: accept the callee subtree
+			}
+			walkHotPath(pass, root, callee, visited)
+			continue
+		}
+		if hotpathAllowed(c.Fn) {
+			continue
+		}
+		if pass.EdgeCut(c.Pos) {
+			continue
+		}
+		if isInterfaceMethod(c.Fn) {
+			report(c.Pos, "interface method "+callName(c.Fn)+" cannot be proven allocation-free")
+			continue
+		}
+		report(c.Pos, "call into unanalyzed "+callName(c.Fn)+" is not on the no-alloc allowlist")
+	}
+}
+
+// callName renders fn as pkg.Name or pkg.(Recv).Name for diagnostics.
+func callName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path() + "."
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return pkg + "(" + recv + ")." + fn.Name()
+	}
+	return pkg + fn.Name()
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface (so
+// it has no body anywhere the engine could summarize).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type().Underlying())
+}
+
+// hotpathAllowed reports whether a call into an unanalyzed package is
+// known not to allocate. The list is deliberately small and concrete:
+// pure math, monotonic clock reads, atomics, and uncontended lock
+// bookkeeping.
+func hotpathAllowed(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	recv := recvTypeName(fn)
+	name := fn.Name()
+	switch pkg.Path() {
+	case "math", "math/bits":
+		return true
+	case "sync/atomic":
+		return true
+	case "context":
+		if recv == "" {
+			// Background/TODO return cached package-level singletons.
+			return name == "Background" || name == "TODO"
+		}
+		// Non-allocating reads on the Context interface; Value is a
+		// linked-list walk through interface boxes and stays flagged.
+		return recv == "Context" && (name == "Err" || name == "Done" || name == "Deadline")
+	case "time":
+		if recv == "" {
+			switch name {
+			case "Now", "Since", "Until", "Sleep":
+				return true
+			}
+			return false
+		}
+		// Duration/Time arithmetic and comparisons; formatting is not
+		// listed and stays flagged.
+		switch name {
+		case "Seconds", "Milliseconds", "Microseconds", "Nanoseconds",
+			"Sub", "Add", "Before", "After", "Equal", "Compare",
+			"Unix", "UnixNano", "UnixMilli", "IsZero":
+			return true
+		}
+		return false
+	case "sync":
+		switch recv {
+		case "Mutex", "RWMutex":
+			return strings.HasPrefix(name, "Lock") || strings.HasPrefix(name, "Unlock") ||
+				strings.HasPrefix(name, "RLock") || strings.HasPrefix(name, "RUnlock") ||
+				name == "TryLock" || name == "TryRLock"
+		case "Pool":
+			// Put recycles; Get may invoke New and must be reviewed at
+			// the call site (edge-cut ignore) instead.
+			return name == "Put"
+		case "WaitGroup":
+			return name == "Add" || name == "Done" || name == "Wait"
+		case "Once":
+			return name == "Do"
+		}
+		return false
+	}
+	return false
+}

@@ -25,6 +25,24 @@
 //	floateq       — no ==/!= between floating-point operands in
 //	                non-test code, except literal-0 sentinels.
 //
+// A second, interprocedural tier (DESIGN.md §16) runs on top of the
+// pass-1 facts engine in facts.go:
+//
+//	hotpathalloc  — //rpmlint:hotpath-marked functions are transitively
+//	                allocation-free (PR 6 + PR 8: 0-alloc predict and
+//	                stream paths), following calls across packages.
+//	ctxflow       — a function holding a context passes it on: no
+//	                context.Background()/TODO() outside cmd/*, no
+//	                calling Foo when FooContext exists (PR 2).
+//	obsnames      — every recorded metric/span name traces to a
+//	                constant in the owning package's obsnames.go; no
+//	                raw literals, duplicates, or dead names (PR 3).
+//	faultsite     — injector call sites name declared site constants,
+//	                and every declared site is exercised by the serving
+//	                layer (PR 7: chaos-suite drift).
+//	staleignore   — an //rpmlint:ignore that suppresses nothing is
+//	                itself a diagnostic (PR 5 ledger hygiene).
+//
 // Deliberate exceptions are annotated in the source with
 //
 //	//rpmlint:ignore <analyzer> <reason>
@@ -41,6 +59,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -66,6 +85,17 @@ type Config struct {
 	// ending in "/") where bare `go` statements are allowed
 	// (baregoroutine).
 	GoroutineExemptPkgs []string
+	// FaultsPkg is the fault-injection package: its Injector methods
+	// are decision sites (faultsite) and facts record which functions
+	// reach them.
+	FaultsPkg string
+	// FaultsUsePkgs are the packages (exact, or prefixes when ending in
+	// "/") that must exercise every declared fault site (faultsite).
+	FaultsUsePkgs []string
+	// CmdPkgPrefixes are the import-path prefixes of binary entry
+	// points, where creating a root context with context.Background()
+	// is legitimate (ctxflow).
+	CmdPkgPrefixes []string
 }
 
 // Defaults returns the repo's own role wiring.
@@ -95,6 +125,9 @@ func Defaults() Config {
 			"rpm/internal/obs",
 			"rpm/cmd/",
 		},
+		FaultsPkg:      "rpm/internal/faults",
+		FaultsUsePkgs:  []string{"rpm/internal/serve"},
+		CmdPkgPrefixes: []string{"rpm/cmd/"},
 	}
 }
 
@@ -122,7 +155,30 @@ func (c Config) errTaxonomyChecked(path string) bool {
 
 // goroutineExempt reports whether path may contain bare go statements.
 func (c Config) goroutineExempt(path string) bool {
-	for _, p := range c.GoroutineExemptPkgs {
+	return matchPkg(c.GoroutineExemptPkgs, path)
+}
+
+// faultsUse reports whether path belongs to the layer that must
+// exercise every declared fault site.
+func (c Config) faultsUse(path string) bool {
+	return matchPkg(c.FaultsUsePkgs, path)
+}
+
+// cmdPkg reports whether path is a binary entry point (ctxflow's
+// context.Background() exemption).
+func (c Config) cmdPkg(path string) bool {
+	for _, p := range c.CmdPkgPrefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPkg matches path against entries that are exact import paths, or
+// prefixes when ending in "/", or subtree roots otherwise.
+func matchPkg(entries []string, path string) bool {
+	for _, p := range entries {
 		if strings.HasSuffix(p, "/") {
 			if strings.HasPrefix(path, p) {
 				return true
@@ -157,7 +213,20 @@ type Pass struct {
 	Info     *types.Info
 	Files    []*ast.File
 
+	// PkgPath is the import path of the analyzed package (Pkg.Path()
+	// for source-checked targets; kept explicit for symmetry with the
+	// facts indexes).
+	PkgPath string
+
+	// Facts is the pass-1 interprocedural summary over every analyzed
+	// package (nil only when Run was handed no packages).
+	Facts *Facts
+
 	diags *[]Diagnostic
+
+	// ignores is the run-wide directive index; EdgeCut consults it so
+	// hotpathalloc can stop a traversal at an annotated call site.
+	ignores *ignoreIndex
 
 	// parents maps each AST node to its parent, built lazily per pass
 	// for analyzers that walk upward (nondeterm's obs-call nesting).
@@ -171,6 +240,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// EdgeCut reports whether pos carries an //rpmlint:ignore directive for
+// this analyzer (same line or the line above). hotpathalloc uses it to
+// stop traversing at a reviewed boundary call — the directive counts as
+// used, so staleignore stays quiet about it.
+func (p *Pass) EdgeCut(pos token.Pos) bool {
+	if p.ignores == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	return p.ignores.use(position.Filename, position.Line, p.Analyzer.Name)
 }
 
 // TypeOf returns the type of e, or nil.
@@ -250,6 +331,18 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
+// Render formats the diagnostic with its path relative to base when
+// possible, keeping file:line:col clickable from the repo root.
+func (d Diagnostic) Render(base string) string {
+	name := d.Pos.Filename
+	if abs, err := filepath.Abs(base); err == nil {
+		if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -259,21 +352,38 @@ func Analyzers() []*Analyzer {
 		BareGoroutine,
 		NilSafeObs,
 		FloatEq,
+		HotPathAlloc,
+		CtxFlow,
+		ObsNames,
+		FaultSite,
+		StaleIgnore,
 	}
 }
 
-// Run executes every analyzer over every package, applies
-// //rpmlint:ignore suppression, and returns the surviving diagnostics
-// sorted by position.
+// Run executes the two-pass pipeline: parse every ignore directive,
+// compute the pass-1 facts, run every analyzer over every package with
+// the facts attached, apply //rpmlint:ignore suppression (tracking
+// which directives earn their keep), report stale directives, and
+// return the surviving diagnostics sorted by position.
 func Run(cfg Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 	var diags []Diagnostic
-	var ignores []ignoreDirective
+	var ignores []*ignoreDirective
+	for _, pkg := range pkgs {
+		igs, bad := collectIgnores(pkg, known)
+		ignores = append(ignores, igs...)
+		diags = append(diags, bad...)
+	}
+	ix := newIgnoreIndex(ignores)
+	facts := ComputeFacts(cfg, pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Name == StaleIgnore.Name {
+				continue // framework-driven below, once per run
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Config:   cfg,
@@ -281,15 +391,29 @@ func Run(cfg Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Files:    pkg.Files,
+				PkgPath:  pkg.ImportPath,
+				Facts:    facts,
 				diags:    &diags,
+				ignores:  ix,
 			}
 			a.Run(pass)
 		}
-		igs, bad := collectIgnores(pkg, known)
-		ignores = append(ignores, igs...)
-		diags = append(diags, bad...)
 	}
-	diags = suppress(diags, ignores)
+	diags = ix.suppress(diags)
+	if known[StaleIgnore.Name] {
+		var stale []Diagnostic
+		for _, ig := range ignores {
+			if ig.used {
+				continue
+			}
+			stale = append(stale, Diagnostic{
+				Analyzer: StaleIgnore.Name,
+				Pos:      ig.pos,
+				Message:  fmt.Sprintf("ignore directive for %q suppresses no diagnostic; remove it", ig.analyzer),
+			})
+		}
+		diags = append(diags, ix.suppress(stale)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -309,11 +433,14 @@ func Run(cfg Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // ignoreDirective is one parsed //rpmlint:ignore comment. It suppresses
 // diagnostics of the named analyzer on its own line and on the line
 // directly below (so it can ride at end-of-line or stand above the
-// offending statement).
+// offending statement). used tracks whether it suppressed anything (or
+// cut a hotpathalloc edge) this run; staleignore reports the rest.
 type ignoreDirective struct {
 	file     string
 	line     int
 	analyzer string
+	pos      token.Position
+	used     bool
 }
 
 const ignorePrefix = "//rpmlint:ignore"
@@ -321,8 +448,8 @@ const ignorePrefix = "//rpmlint:ignore"
 // collectIgnores parses the ignore directives of one package and
 // reports malformed ones (missing analyzer, unknown analyzer, missing
 // reason) as diagnostics under the pseudo-analyzer name "rpmlint".
-func collectIgnores(pkg *Package, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
-	var igs []ignoreDirective
+func collectIgnores(pkg *Package, known map[string]bool) ([]*ignoreDirective, []Diagnostic) {
+	var igs []*ignoreDirective
 	var bad []Diagnostic
 	report := func(pos token.Pos, msg string) {
 		bad = append(bad, Diagnostic{Analyzer: "rpmlint", Pos: pkg.Fset.Position(pos), Message: msg})
@@ -352,32 +479,54 @@ func collectIgnores(pkg *Package, known map[string]bool) ([]ignoreDirective, []D
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				igs = append(igs, ignoreDirective{file: pos.Filename, line: pos.Line, analyzer: name})
+				igs = append(igs, &ignoreDirective{file: pos.Filename, line: pos.Line, analyzer: name, pos: pos})
 			}
 		}
 	}
 	return igs, bad
 }
 
+// ignoreKey addresses directives by suppression coordinates.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreIndex is the run-wide directive lookup shared by suppression
+// and hotpathalloc edge cutting; both mark matched directives used.
+type ignoreIndex struct {
+	idx map[ignoreKey][]*ignoreDirective
+}
+
+func newIgnoreIndex(igs []*ignoreDirective) *ignoreIndex {
+	ix := &ignoreIndex{idx: map[ignoreKey][]*ignoreDirective{}}
+	for _, ig := range igs {
+		k := ignoreKey{ig.file, ig.line, ig.analyzer}
+		ix.idx[k] = append(ix.idx[k], ig)
+	}
+	return ix
+}
+
+// use marks (and reports) any directive covering file:line for
+// analyzer — on the same line or the line directly above.
+func (ix *ignoreIndex) use(file string, line int, analyzer string) bool {
+	hit := false
+	for _, l := range [2]int{line, line - 1} {
+		for _, ig := range ix.idx[ignoreKey{file, l, analyzer}] {
+			ig.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
 // suppress drops diagnostics covered by an ignore directive on the same
 // or the preceding line of the same file.
-func suppress(diags []Diagnostic, igs []ignoreDirective) []Diagnostic {
-	if len(igs) == 0 {
-		return diags
-	}
-	type key struct {
-		file     string
-		line     int
-		analyzer string
-	}
-	idx := map[key]bool{}
-	for _, ig := range igs {
-		idx[key{ig.file, ig.line, ig.analyzer}] = true
-	}
+func (ix *ignoreIndex) suppress(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
-		if idx[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-			idx[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+		if ix.use(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
 			continue
 		}
 		out = append(out, d)

@@ -15,6 +15,9 @@ func fixtureConfig() Config {
 		ObsPkg:              "lintfix/nondeterm/obs",
 		ErrTaxonomyPkgs:     []string{"lintfix/errtaxonomy", "lintfix/errtaxonomy/second"},
 		GoroutineExemptPkgs: []string{"lintfix/baregoroutine/pool"},
+		FaultsPkg:           "lintfix/faultsite/faults",
+		FaultsUsePkgs:       []string{"lintfix/faultsite/serve"},
+		CmdPkgPrefixes:      []string{"lintfix/ctxflow/cmd/"},
 	}
 }
 
@@ -110,6 +113,61 @@ func TestNilSafeObsGolden(t *testing.T) {
 
 func TestFloatEqGolden(t *testing.T) {
 	runGolden(t, fixtureConfig(), "./floateq/...", FloatEq)
+}
+
+// TestHotPathAllocGolden covers the interprocedural no-alloc proof,
+// including the cross-package edge: the marked root in ./hotpathalloc
+// calls dep.Scale in the sibling package and the finding lands at the
+// allocation inside dep — which only works if the facts engine
+// canonicalizes the export-data callee object to the source-checked
+// summary.
+func TestHotPathAllocGolden(t *testing.T) {
+	runGolden(t, fixtureConfig(), "./hotpathalloc/...", HotPathAlloc)
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, fixtureConfig(), "./ctxflow/...", CtxFlow)
+}
+
+func TestObsNamesGolden(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.ObsPkg = "lintfix/obsnames/obs"
+	runGolden(t, cfg, "./obsnames/...", ObsNames)
+}
+
+func TestFaultSiteGolden(t *testing.T) {
+	runGolden(t, fixtureConfig(), "./faultsite/...", FaultSite)
+}
+
+// TestStaleIgnoreGolden runs floateq alongside staleignore so the
+// fixture's live directive has something to suppress while the stale
+// one is reported.
+func TestStaleIgnoreGolden(t *testing.T) {
+	runGolden(t, fixtureConfig(), "./staleignore", FloatEq, StaleIgnore)
+}
+
+// TestAnalyzerSuite pins the suite: eleven analyzers, unique names,
+// docs present (rpmlint -list and the SARIF rule table depend on it).
+func TestAnalyzerSuite(t *testing.T) {
+	as := Analyzers()
+	if len(as) != 11 {
+		t.Fatalf("suite has %d analyzers, want 11", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"hotpathalloc", "ctxflow", "obsnames", "faultsite", "staleignore"} {
+		if !seen[name] {
+			t.Errorf("suite is missing %q", name)
+		}
+	}
 }
 
 // TestBadIgnoreDirectives pins the suppression contract: malformed

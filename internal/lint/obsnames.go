@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+)
+
+// ObsNames enforces the PR-3/PR-6 metric-name discipline: every name
+// handed to an obs recording entry point (Registry.Counter/Gauge/Pool/
+// Summary/StartSpan, Span.Start/Child) must trace to a string constant
+// declared in an obsnames.go file, so the package's observable surface
+// is readable in one place. Three findings:
+//
+//   - a recording call whose name argument references no obsnames.go
+//     constant (raw literal, or a dynamically built name with no
+//     declared prefix constant);
+//   - two obsnames.go constants in one package with the same value;
+//   - an obsnames.go constant that no recording call anywhere in the
+//     analyzed tree ever references (dead name — the dashboard lies).
+//
+// The obs package itself is exempt: its methods receive names, they do
+// not mint them.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs metric/span names must be obsnames.go constants: no raw literals, duplicates, or dead names",
+	Run:  runObsNames,
+}
+
+func runObsNames(pass *Pass) {
+	facts := pass.Facts
+	if facts == nil || pass.PkgPath == pass.Config.ObsPkg {
+		return
+	}
+
+	// Rule 1: every recording call in this package names a declared
+	// constant.
+	for _, rec := range facts.obsRecords {
+		if rec.PkgPath != pass.PkgPath {
+			continue
+		}
+		ok := false
+		for _, c := range constsIn(pass.Info, rec.Name) {
+			if facts.declaredInObsNames(c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(rec.Pos, "obs %s name does not reference any obsnames.go constant; declare the name (or its prefix) there", rec.Kind)
+		}
+	}
+
+	// Rules 2+3 over this package's own obsnames.go declarations.
+	seen := map[string]types.Object{}
+	for _, file := range pass.Files {
+		pos := pass.Fset.Position(file.Pos())
+		if filepath.Base(pos.Filename) != "obsnames.go" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					basic, ok := c.Type().Underlying().(*types.Basic)
+					if !ok || basic.Info()&types.IsString == 0 {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if prev, dup := seen[val]; dup {
+						pass.Reportf(name.Pos(), "duplicate obs name %q (already declared as %s)", val, prev.Name())
+					} else {
+						seen[val] = c
+					}
+					if !facts.recordedConsts[canonKey(c)] {
+						pass.Reportf(name.Pos(), "obs name constant %s is never recorded; delete it or record it", name.Name)
+					}
+				}
+			}
+		}
+	}
+}

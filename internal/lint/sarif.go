@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF rendering (the 2.1.0 static-analysis results interchange
+// format) so CI can upload rpmlint findings to GitHub code scanning
+// and have them surface as inline annotations. The structs cover the
+// minimal valid subset: one run, one rule per analyzer, one result per
+// diagnostic with a physical location.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diags as a SARIF 2.1.0 log. analyzers defines the rule
+// table (the pseudo-analyzer "rpmlint" for malformed directives is
+// appended automatically); base, when non-empty, is the directory file
+// paths are made relative to, so URIs stay repo-relative for GitHub.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, base string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	index["rpmlint"] = len(rules)
+	rules = append(rules, sarifRule{ID: "rpmlint", ShortDescription: sarifMessage{Text: "malformed //rpmlint:ignore directive"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			idx = index["rpmlint"]
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.Pos.Filename, base)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rpmlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// sarifURI renders name relative to base with forward slashes.
+func sarifURI(name, base string) string {
+	if base != "" {
+		if abs, err := filepath.Abs(base); err == nil {
+			if rel, err := filepath.Rel(abs, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+	}
+	return filepath.ToSlash(name)
+}
+
+// jsonDiag is the -format json record for one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// JSON renders diags as a stable machine-readable report. base, when
+// non-empty, relativizes file paths the same way SARIF does.
+func JSON(diags []Diagnostic, base string) ([]byte, error) {
+	out := struct {
+		Count       int        `json:"count"`
+		Diagnostics []jsonDiag `json:"diagnostics"`
+	}{Count: len(diags), Diagnostics: make([]jsonDiag, 0, len(diags))}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     sarifURI(d.Pos.Filename, base),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func sampleDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Diagnostic{
+		{
+			Analyzer: "hotpathalloc",
+			Pos:      token.Position{Filename: filepath.Join(abs, "internal", "dist", "query.go"), Line: 42, Column: 7},
+			Message:  "make allocates",
+		},
+		{
+			Analyzer: "rpmlint",
+			Pos:      token.Position{Filename: filepath.Join(abs, "rpm.go"), Line: 3, Column: 1},
+			Message:  "malformed ignore directive",
+		},
+	}
+}
+
+// TestSARIF pins the shape GitHub code scanning requires: schema and
+// version strings, a rule per analyzer (plus the rpmlint pseudo-rule),
+// results whose ruleIndex points back into the rule table, and
+// repo-relative forward-slash URIs.
+func TestSARIF(t *testing.T) {
+	raw, err := SARIF(sampleDiags(t), Analyzers(), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rpmlint" {
+		t.Errorf("driver name %q, want rpmlint", run.Tool.Driver.Name)
+	}
+	if want := len(Analyzers()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d (analyzers + rpmlint pseudo-rule)", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result level %q, want error", r.Level)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("ruleIndex %d does not resolve to ruleId %q", r.RuleIndex, r.RuleID)
+		}
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/dist/query.go" {
+		t.Errorf("uri %q, want repo-relative internal/dist/query.go", uri)
+	}
+	if line := run.Results[0].Locations[0].PhysicalLocation.Region.StartLine; line != 42 {
+		t.Errorf("startLine %d, want 42", line)
+	}
+}
+
+// TestJSONFormat pins the -format json report shape.
+func TestJSONFormat(t *testing.T) {
+	raw, err := JSON(sampleDiags(t), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	if report.Count != 2 || len(report.Diagnostics) != 2 {
+		t.Fatalf("count %d / %d diagnostics, want 2 / 2", report.Count, len(report.Diagnostics))
+	}
+	d := report.Diagnostics[0]
+	if d.Analyzer != "hotpathalloc" || d.File != "internal/dist/query.go" || d.Line != 42 || d.Column != 7 || d.Message != "make allocates" {
+		t.Errorf("unexpected first diagnostic: %+v", d)
+	}
+}

@@ -1,0 +1,20 @@
+package lint
+
+// StaleIgnore keeps the suppression ledger honest: an //rpmlint:ignore
+// directive that suppressed zero diagnostics (and cut no hotpathalloc
+// edge) this run is dead weight — the code it excused was fixed or
+// deleted, and leaving the directive invites it to silently excuse a
+// future regression. Each such directive is itself a diagnostic.
+//
+// The check is framework-driven: Run tracks directive use during
+// suppression and emits the findings after all analyzers finish, so
+// this Analyzer's Run body is intentionally empty. It still appears in
+// Analyzers() so the check can be listed, enabled, and suppressed like
+// any other (an //rpmlint:ignore staleignore directive works, though
+// wanting one is a strong sign the underlying directive should just be
+// deleted).
+var StaleIgnore = &Analyzer{
+	Name: "staleignore",
+	Doc:  "//rpmlint:ignore directives that suppress nothing are themselves findings",
+	Run:  func(*Pass) {},
+}

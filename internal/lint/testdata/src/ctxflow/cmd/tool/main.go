@@ -1,0 +1,14 @@
+// Package main sits under the fixture's cmd prefix: binaries own their
+// root context, so Background here is clean.
+package main
+
+import (
+	"context"
+
+	"lintfix/ctxflow"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = ctxflow.FetchContext(ctx)
+}

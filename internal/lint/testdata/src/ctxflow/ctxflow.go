@@ -1,0 +1,36 @@
+// Package ctxflow exercises context-propagation findings: a held ctx
+// dropped for a fresh Background, a library-created root, a nil ctx
+// argument, and the Foo-vs-FooContext pair rule.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context) error  { return ctx.Err() }
+func work2(ctx context.Context) error { return ctx.Err() }
+
+func holder(ctx context.Context) error {
+	if err := work(context.Background()); err != nil { // want "holds a context but calls context.Background"
+		return err
+	}
+	return work2(nil) // want "passing nil to work2"
+}
+
+func libraryRoot() error {
+	ctx := context.Background() // want "outside cmd/\\*"
+	return work(ctx)
+}
+
+// Fetch / FetchContext form the pair the facts engine links.
+func Fetch() int { return 0 }
+
+func FetchContext(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return -1
+	}
+	return 0
+}
+
+func pairCaller(ctx context.Context) int {
+	_ = ctx
+	return Fetch() // want "use FetchContext"
+}

@@ -1,0 +1,20 @@
+package ctxflow
+
+import "context"
+
+// Wrap is the convenience-wrapper idiom: a ctx-less function passing a
+// fresh Background straight into its Context sibling. Allowed.
+func Wrap() error { return work(context.Background()) }
+
+type job struct{ ctx context.Context }
+
+// normalize defaults a nil ctx field with a plain assignment — the
+// accepted nil-normalization idiom.
+func normalize(j *job) {
+	if j.ctx == nil {
+		j.ctx = context.Background()
+	}
+}
+
+// pairCallerCtx threads its ctx into the Context variant. Clean.
+func pairCallerCtx(ctx context.Context) int { return FetchContext(ctx) }

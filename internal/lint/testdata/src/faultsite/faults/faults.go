@@ -1,0 +1,14 @@
+// Package faults is the fixture stand-in for the fault injector: the
+// faultsite analyzer checks its Site* constants and the call sites of
+// its decision methods.
+package faults
+
+type Injector struct{}
+
+func (in *Injector) Fire(site string) bool { _ = site; return false }
+func (in *Injector) Err(site string) error { _ = site; return nil }
+
+const (
+	SiteUsed = "fix.used"
+	SiteDead = "fix.dead" // want "never exercised by the serving layer"
+)

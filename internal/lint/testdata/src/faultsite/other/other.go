@@ -1,0 +1,10 @@
+// Package other exercises SiteDead from outside the configured use
+// layer — which must NOT count as exercising it: the declared-but-dead
+// finding in the faults package stands.
+package other
+
+import "lintfix/faultsite/faults"
+
+func hit(in *faults.Injector) bool {
+	return in.Fire(faults.SiteDead)
+}

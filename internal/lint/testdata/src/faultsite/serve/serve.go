@@ -1,0 +1,13 @@
+// Package serve is the fixture use layer: it exercises SiteUsed
+// through the declared constant and fires one raw-literal site, which
+// is a finding.
+package serve
+
+import "lintfix/faultsite/faults"
+
+func hit(in *faults.Injector) error {
+	if in.Fire(faults.SiteUsed) {
+		return in.Err(faults.SiteUsed)
+	}
+	return in.Err("raw.site") // want "not a lintfix/faultsite/faults constant"
+}

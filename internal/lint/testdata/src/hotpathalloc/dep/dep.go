@@ -1,0 +1,11 @@
+// Package dep is the sibling callee: the hotpathalloc fixture's marked
+// root calls into it across the package boundary, and the finding must
+// land here — proving the facts engine canonicalizes export-data and
+// source-checked objects to the same summary.
+package dep
+
+// Scale doubles x through a scratch slice.
+func Scale(x float64) float64 {
+	tmp := []float64{x, x} // want "slice literal allocates"
+	return tmp[0] + tmp[1]
+}

@@ -1,0 +1,46 @@
+// Package hotpathalloc exercises the transitive no-alloc proof: direct
+// allocation kinds, dynamic calls, unanalyzed stdlib calls, the
+// recycled-append and panic exemptions, and the edge-cut ignore.
+package hotpathalloc
+
+import (
+	"fmt"
+	"lintfix/hotpathalloc/dep"
+)
+
+//rpmlint:hotpath fixture root
+func Hot(buf []float64, n int) float64 {
+	tmp := make([]float64, n) // want "make allocates"
+	m := map[int]int{}        // want "map literal allocates"
+	f := func() {}            // want "closure literal allocates"
+	f()                       // want "dynamic call"
+	s := 0.0
+	for _, v := range buf {
+		s += v
+	}
+	buf = append(buf, s) // want "append may grow"
+	_ = fmt.Sprint(n)    // want "fmt.Sprint|boxed into interface"
+	go helper(buf)       // want "go statement"
+	_ = tmp
+	_ = m
+	return helper(buf) + dep.Scale(s)
+}
+
+// helper is reached transitively; the recycle idiom and the panic
+// argument are exempt, the plain append is not.
+func helper(buf []float64) float64 {
+	out := append(buf[:0], 1)
+	if len(out) == 0 {
+		panic(fmt.Sprintf("impossible: %d", len(buf)))
+	}
+	return out[0]
+}
+
+// Cold is unmarked: allocating freely here is fine.
+func Cold(n int) []float64 { return make([]float64, n) }
+
+//rpmlint:hotpath fixture root with a reviewed boundary
+func HotCut() float64 {
+	//rpmlint:ignore hotpathalloc fixture: reviewed warm-up boundary
+	return Cold(1)[0]
+}

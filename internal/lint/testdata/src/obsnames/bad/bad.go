@@ -1,0 +1,11 @@
+// Package bad exercises the obsnames findings: a raw-literal name, a
+// duplicate constant value, and a declared-but-never-recorded name.
+package bad
+
+import "lintfix/obsnames/obs"
+
+func record(r *obs.Registry) {
+	r.Counter("bad.raw").Inc() // want "does not reference any obsnames.go constant"
+	r.Counter(CtrGood).Inc()
+	r.Counter(CtrDupe).Inc()
+}

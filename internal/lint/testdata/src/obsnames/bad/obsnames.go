@@ -1,0 +1,7 @@
+package bad
+
+const (
+	CtrGood = "bad.good"
+	CtrDupe = "bad.good" // want "duplicate obs name"
+	CtrDead = "bad.dead" // want "never recorded"
+)

@@ -1,0 +1,17 @@
+// Package good records every name through obsnames.go constants,
+// including the prefix-concatenation and Sprintf-formatted dynamic
+// shapes. Clean.
+package good
+
+import (
+	"fmt"
+
+	"lintfix/obsnames/obs"
+)
+
+func record(r *obs.Registry, code string, step int) {
+	r.Counter(CtrHits).Inc()
+	r.Counter(CtrErrPrefix + code).Inc()
+	sp := r.StartSpan(fmt.Sprintf("%s%d", SpanStep, step))
+	sp.End()
+}

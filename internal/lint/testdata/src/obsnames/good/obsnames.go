@@ -1,0 +1,9 @@
+package good
+
+const (
+	CtrHits = "good.hits"
+	// CtrErrPrefix + code is one counter per error code.
+	CtrErrPrefix = "good.errors."
+	// SpanStep + index is one pipeline step span.
+	SpanStep = "good.step."
+)

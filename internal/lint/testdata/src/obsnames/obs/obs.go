@@ -1,0 +1,18 @@
+// Package obs is the fixture stand-in for the instrumentation package:
+// the obsnames analyzer keys recording calls off these receiver/method
+// names.
+package obs
+
+type Registry struct{}
+type Counter struct{}
+type Span struct{}
+
+func (r *Registry) Counter(name string) *Counter { _ = name; return nil }
+func (r *Registry) Gauge(name string) *Counter   { _ = name; return nil }
+func (r *Registry) Summary(name string) *Counter { _ = name; return nil }
+func (r *Registry) StartSpan(name string) *Span  { _ = name; return nil }
+
+func (s *Span) Start(name string) *Span { _ = name; return nil }
+func (s *Span) End()                    {}
+
+func (c *Counter) Inc() {}

@@ -1,0 +1,12 @@
+// Package staleignore exercises the suppression-ledger check: a live
+// directive (suppressing a real floateq finding) is fine, a directive
+// suppressing nothing is itself a finding.
+package staleignore
+
+// eq deliberately compares floats bitwise; the directive earns its keep.
+func eq(a, b float64) bool {
+	return a == b //rpmlint:ignore floateq fixture: deliberate bitwise comparison
+}
+
+//rpmlint:ignore floateq fixture: the code it excused is gone // want "suppresses no diagnostic"
+func stale() int { return 3 }

@@ -16,15 +16,6 @@ import (
 	"rpm/internal/ts"
 )
 
-// SpanLOOCV is the span recorded by BestWindowObs around the whole
-// leave-one-out window sweep; each candidate window w gets a child span
-// named SpanLOOCVWindow + strconv.Itoa(w).
-const (
-	SpanLOOCV       = "nn.loocv"
-	SpanLOOCVWindow = "nn.loocv.window." // + window half-width
-	PoolLOOCV       = "pool.nn.loocv"
-)
-
 // EDClassifier is a 1-nearest-neighbor classifier under Euclidean distance.
 type EDClassifier struct {
 	train ts.Dataset

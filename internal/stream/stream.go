@@ -248,6 +248,8 @@ func (m *Model) NewDetector(cfg Config) *Detector {
 // events it committed, in order. The returned slice is scratch — valid
 // until the next Append; callers that retain events must copy them
 // (Registry.Stream does).
+//
+//rpmlint:hotpath PR8 stream path: 0 allocs/sample at steady state
 func (d *Detector) Append(chunk []float64) []Event {
 	d.scratch = d.scratch[:0]
 	for _, x := range chunk {
@@ -266,7 +268,7 @@ func (d *Detector) push(x float64) {
 		copy(d.buf[:d.keep], d.buf[len(d.buf)-d.keep:])
 		d.buf = d.buf[:d.keep]
 	}
-	d.buf = append(d.buf, x)
+	d.buf = append(d.buf, x) //rpmlint:ignore hotpathalloc never grows: the ring slide above caps len at keep < cap
 	bl := len(d.buf)
 	for gi := range d.m.groups {
 		g := &d.m.groups[gi]
@@ -292,6 +294,7 @@ func (d *Detector) push(x float64) {
 	for a, mt := range d.m.ordered {
 		d.feat[d.m.featOf[a]] = mt.StreamMatch(&d.scans[a]).Dist
 	}
+	//rpmlint:ignore hotpathalloc Predictor is the svm adapter; svm.Model.Predict carries its own hotpath proof
 	raw := d.m.pred.PredictVector(d.feat)
 	d.raw = raw
 	if !d.started {
@@ -334,11 +337,11 @@ func (d *Detector) emit(kind string, sample int64, label, prev int) {
 	e := Event{Seq: d.seq, Sample: sample, Label: label, Prev: prev, Kind: kind}
 	d.seq++
 	if len(d.ring) < cap(d.ring) {
-		d.ring = append(d.ring, e)
+		d.ring = append(d.ring, e) //rpmlint:ignore hotpathalloc guarded by len < cap: fills the preallocated ring, never grows it
 	} else {
 		d.ring[e.Seq%cap(d.ring)] = e
 	}
-	d.scratch = append(d.scratch, e)
+	d.scratch = append(d.scratch, e) //rpmlint:ignore hotpathalloc grows to the per-Append event high-water mark, then reused
 }
 
 // Seen returns the number of samples consumed.

@@ -227,6 +227,8 @@ func (m *Model) Decision(x []float64) map[int]float64 {
 // per-term arithmetic ((v-mean)*scale first, then the weight multiply,
 // accumulated in feature order, bias last), so the decision values are
 // bit-identical to Decision's.
+//
+//rpmlint:hotpath PR6 predict kernel: fused scale+dot allocates nothing
 func (m *Model) Predict(x []float64) int {
 	if len(m.classes) == 1 {
 		return m.classes[0]

@@ -221,7 +221,7 @@ func RotateHalf(v []float64) []float64 { return Rotate(v, len(v)/2) }
 func RotateInto(dst, v []float64, cut int) []float64 {
 	n := len(v)
 	if cap(dst) < n {
-		dst = make([]float64, n)
+		dst = make([]float64, n) //rpmlint:ignore hotpathalloc grows the caller's scratch to len(v) once; steady state reuses it
 	}
 	dst = dst[:n]
 	if n == 0 {
